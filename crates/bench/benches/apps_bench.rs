@@ -1,0 +1,105 @@
+//! Application-kernel benchmarks: the hot loops of the four mini-apps,
+//! measured on the host. These are the kernels whose *counts* feed the
+//! architectural model; their host rates are reported for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_lbmhd_collide(c: &mut Criterion) {
+    use lbmhd::collide::{step, FLOPS_PER_POINT};
+    use lbmhd::state::{set_equilibrium, Block, Moments};
+    let n = 24;
+    let mut src = Block::zeros(n, n, n);
+    set_equilibrium(&mut src, |i, j, k| Moments {
+        rho: 1.0 + 0.01 * ((i + j + k) as f64).sin(),
+        mom: [0.01, -0.005, 0.002],
+        b: [0.02, 0.01, -0.01],
+    });
+    let mut dst = Block::zeros(n, n, n);
+    let mut g = c.benchmark_group("lbmhd");
+    g.throughput(Throughput::Elements(((n * n * n) as f64 * FLOPS_PER_POINT) as u64));
+    g.bench_function("collide_stream_24cubed", |bench| {
+        bench.iter(|| step(std::hint::black_box(&src), &mut dst, 1.6, 1.2));
+    });
+    g.finish();
+}
+
+fn bench_gtc_particles(c: &mut Criterion) {
+    use gtc::deposit::deposit;
+    use gtc::geometry::PoloidalGrid;
+    use gtc::particles::load_uniform;
+    use gtc::push::{gather, push};
+    let grid = PoloidalGrid { mpsi: 32, mtheta: 64, r_inner: 0.1, r_outer: 0.9 };
+    let parts = load_uniform(50_000, 0.15, 0.85, 0.0, 1.0, 7);
+    let mut charge: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.0; grid.len()]).collect();
+    let e: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.1; grid.len()]).collect();
+
+    let mut g = c.benchmark_group("gtc");
+    g.throughput(Throughput::Elements(parts.len() as u64));
+    g.bench_function("deposit_50k", |bench| {
+        bench.iter(|| {
+            for plane in charge.iter_mut() {
+                plane.iter_mut().for_each(|v| *v = 0.0);
+            }
+            deposit(&grid, std::hint::black_box(&parts), &mut charge, 0.0, 0.5)
+        });
+    });
+    g.bench_function("gather_push_50k", |bench| {
+        let mut p = parts.clone();
+        bench.iter(|| {
+            let f = gather(&grid, &p, &e, &e, 0.0, 0.5);
+            push(&grid, std::hint::black_box(&mut p), &f, 1e-4)
+        });
+    });
+    g.finish();
+}
+
+fn bench_fvcam_advect(c: &mut Criterion) {
+    use fvcam::advect::{advect_level, FLOPS_PER_CELL};
+    use fvcam::grid::{LevelBlock, SphereGrid};
+    let grid = SphereGrid::new(144, 91, 1);
+    let mut q = LevelBlock::zeros(144, 91, 2);
+    let mut cx = LevelBlock::zeros(144, 91, 2);
+    let cy = LevelBlock::zeros(144, 91, 2);
+    for j in 0..91 {
+        for i in 0..144 {
+            *q.get_mut(j as isize, i) = ((i + j) as f64 * 0.1).sin();
+            *cx.get_mut(j as isize, i) = 0.3;
+        }
+    }
+    let mut g = c.benchmark_group("fvcam");
+    g.throughput(Throughput::Elements((144.0 * 91.0 * FLOPS_PER_CELL) as u64));
+    g.bench_function("advect_level_144x91", |bench| {
+        bench.iter(|| advect_level(&grid, std::hint::black_box(&mut q), &cx, &cy, 0));
+    });
+
+    use fvcam::polar::PolarFilter;
+    let mut filter = PolarFilter::new(144);
+    g.bench_function("polar_filter_144x91", |bench| {
+        bench.iter(|| filter.apply(&grid, std::hint::black_box(&mut q), 0));
+    });
+    g.finish();
+}
+
+fn bench_paratec_fft(c: &mut Criterion) {
+    use kernels::fft3d::{fft3, Grid3};
+    use kernels::Complex64;
+    let mut grid = Grid3::zeros(32, 32, 32);
+    for (i, v) in grid.data.iter_mut().enumerate() {
+        *v = Complex64::new((i as f64 * 0.01).sin(), 0.0);
+    }
+    let mut g = c.benchmark_group("paratec");
+    g.throughput(Throughput::Elements((32 * 32 * 32) as u64));
+    g.bench_function("fft3_32cubed", |bench| {
+        bench.iter(|| fft3(std::hint::black_box(&mut grid)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lbmhd_collide,
+    bench_gtc_particles,
+    bench_fvcam_advect,
+    bench_paratec_fft
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Microkernel benchmarks: the building blocks whose host-machine rates
+//! anchor the suite (STREAM triad for Table 1's memory column, FFT and
+//! GEMM for PARATEC's dominant phases).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kernels::blas::{dgemm, zgemm, Trans};
+use kernels::fft::{Direction, FftPlan};
+use kernels::stream::triad;
+use kernels::Complex64;
+
+fn bench_stream_triad(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let b = vec![1.0f64; n];
+        let cc = vec![2.0f64; n];
+        let mut a = vec![0.0f64; n];
+        g.throughput(Throughput::Bytes((n * 24) as u64));
+        g.bench_with_input(BenchmarkId::new("triad", n), &n, |bench, _| {
+            bench.iter(|| triad(std::hint::black_box(&mut a), &b, &cc, 3.0));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    // Power of two (radix-2) and the FVCAM longitude length (Bluestein).
+    for &n in &[256usize, 576, 1024] {
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.1)).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("forward", n), &n, |bench, _| {
+            bench.iter(|| plan.execute(std::hint::black_box(&mut data), Direction::Forward));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[64usize, 128] {
+        let a = vec![1.5f64; n * n];
+        let b = vec![0.5f64; n * n];
+        let mut out = vec![0.0f64; n * n];
+        g.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("dgemm", n), &n, |bench, _| {
+            bench.iter(|| {
+                dgemm(n, n, n, 1.0, &a, &b, 0.0, std::hint::black_box(&mut out))
+            });
+        });
+        let az = vec![Complex64::new(1.0, 0.5); n * n];
+        let bz = vec![Complex64::new(0.5, -0.25); n * n];
+        let mut oz = vec![Complex64::ZERO; n * n];
+        g.throughput(Throughput::Elements((8 * n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("zgemm", n), &n, |bench, _| {
+            bench.iter(|| {
+                zgemm(
+                    Trans::None,
+                    n,
+                    n,
+                    n,
+                    Complex64::ONE,
+                    &az,
+                    &bz,
+                    Complex64::ZERO,
+                    std::hint::black_box(&mut oz),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream_triad, bench_fft, bench_gemm);
+criterion_main!(benches);

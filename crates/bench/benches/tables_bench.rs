@@ -1,0 +1,44 @@
+//! Table-regeneration benchmarks: one benchmark per paper artifact,
+//! timing the full pipeline (workload models × platform evaluation) that
+//! produces each table and figure. `cargo bench -p bench tables` therefore
+//! regenerates every table of the paper and reports how long each takes.
+
+use bench::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table3_fvcam", |b| {
+        b.iter(|| std::hint::black_box(experiments::fvcam_rows()))
+    });
+    g.bench_function("table4_gtc", |b| {
+        b.iter(|| std::hint::black_box(experiments::gtc_rows()))
+    });
+    g.bench_function("table5_lbmhd", |b| {
+        b.iter(|| std::hint::black_box(experiments::lbmhd_rows()))
+    });
+    g.bench_function("table6_paratec", |b| {
+        b.iter(|| std::hint::black_box(experiments::paratec_rows()))
+    });
+    g.bench_function("fig8_summary", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig8_apps()))
+    });
+    g.finish();
+}
+
+fn bench_fig2_capture(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    // Reduced mesh: the full D-mesh capture is exercised by `repro fig2`.
+    g.bench_function("fvcam_traffic_capture_1d", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig2_traffic(1, 16)))
+    });
+    g.bench_function("fvcam_traffic_capture_2d", |b| {
+        b.iter(|| std::hint::black_box(experiments::fig2_traffic(4, 16)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_fig2_capture);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Result generation for every table and figure.
+//!
+//! Each driver builds, per (configuration, platform), the workload profile
+//! from the application's validated model and evaluates it with the
+//! architectural model. Results use the paper's 7-column platform layout
+//! (see `report::paper::PLATFORMS`).
+
+use hec_arch::{predict, Platform, PlatformId, WorkloadProfile};
+
+/// One reproduced cell: sustained Gflop/s per processor and % of peak.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Gflop/s per processor.
+    pub gflops: f64,
+    /// Percent of the platform's peak.
+    pub pct_peak: f64,
+    /// Predicted seconds per timestep (Figure 4 needs this).
+    pub step_secs: f64,
+}
+
+/// One reproduced table row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Processor count.
+    pub procs: usize,
+    /// Row label (decomposition, grid, particles/cell…).
+    pub label: String,
+    /// Per-platform cells in `report::paper::PLATFORMS` order.
+    pub cells: [Option<Cell>; 7],
+}
+
+fn eval(platform: &Platform, w: &WorkloadProfile) -> Cell {
+    let p = predict(platform, w);
+    Cell {
+        gflops: p.gflops_per_proc,
+        pct_peak: p.percent_of_peak,
+        step_secs: p.breakdown.total(),
+    }
+}
+
+/// Evaluates a workload on the X1 in "aggregate 4-SSP" mode, the way
+/// Tables 4 and 6 report it: the same total work spread over 4× as many
+/// SSP ranks; the quoted Gflop/P is the aggregate of 4 SSPs.
+fn eval_4ssp(w: &WorkloadProfile) -> Cell {
+    let ssp = Platform::get(PlatformId::X1Ssp);
+    let mut quarter = w.clone();
+    quarter.job_procs = w.job_procs * 4;
+    for ph in quarter.phases.iter_mut() {
+        ph.flops /= 4.0;
+        ph.unit_stride_bytes /= 4.0;
+        ph.gather_scatter_bytes /= 4.0;
+        ph.working_set_bytes /= 4.0;
+        // The inner (vector) loops are the same loops — only the outer
+        // block shrinks — so the vector length is left untouched.
+    }
+    for ev in quarter.comm.iter_mut() {
+        use hec_arch::CommEvent::*;
+        match ev {
+            Halo { bytes, .. } => *bytes /= 4.0,
+            Allreduce { procs, .. } => *procs *= 4.0,
+            Alltoall { procs, bytes_per_pair } => {
+                *procs *= 4.0;
+                *bytes_per_pair /= 16.0; // per-rank volume /4, pairs ×4
+            }
+            Transpose { procs, bytes_per_rank } => {
+                *procs *= 4.0;
+                *bytes_per_rank /= 4.0;
+            }
+            Bcast { procs, .. } => *procs *= 4.0,
+        }
+    }
+    let p = predict(&ssp, &quarter);
+    // The paper reports the *aggregate* of 4 SSPs against the MSP's 12.8
+    // Gflop/s peak, so the two X1 columns are directly comparable.
+    let aggregate = 4.0 * p.gflops_per_proc;
+    Cell {
+        gflops: aggregate,
+        pct_peak: 100.0 * aggregate / Platform::get(PlatformId::X1Msp).peak_gflops,
+        step_secs: p.breakdown.total(),
+    }
+}
+
+/// Table 3 / Figures 3–4: FVCAM on the D mesh. OpenMP (4 threads) is used
+/// on Power3 and ES exactly as in the paper; the X1E column sits in the
+/// paper's "4-SSP" slot (FVCAM reports X1E, not SSP mode).
+pub fn fvcam_rows() -> Vec<Row> {
+    use fvcam::model::{table3_configs, workload, FvConfig};
+    let mut rows = Vec::new();
+    for base in table3_configs(1) {
+        let mk = |threads: usize| -> Option<WorkloadProfile> {
+            workload(FvConfig { threads, ..base })
+        };
+        let w1 = mk(1);
+        let w4 = mk(4);
+        // Prefer pure MPI; fall back to 4 threads where MPI alone is
+        // infeasible (the paper's Power3/ES hybrid operating point).
+        let omp = |prefer4: bool| -> Option<WorkloadProfile> {
+            if prefer4 {
+                w4.clone().or_else(|| w1.clone())
+            } else {
+                w1.clone().or_else(|| w4.clone())
+            }
+        };
+        let cells: [Option<Cell>; 7] = [
+            omp(true).map(|w| eval(&Platform::get(PlatformId::Power3), &w)),
+            omp(false).map(|w| eval(&Platform::get(PlatformId::Itanium2), &w)),
+            None, // no Opteron data for FVCAM
+            omp(false).map(|w| eval(&Platform::get(PlatformId::X1Msp), &w)),
+            omp(false).map(|w| eval(&Platform::get(PlatformId::X1e), &w)),
+            omp(true).map(|w| eval(&Platform::get(PlatformId::Es), &w)),
+            None, // no SX-8 data for FVCAM
+        ];
+        let label = if base.pz == 1 { "1D".into() } else { format!("2D Pz={}", base.pz) };
+        rows.push(Row { procs: base.procs, label, cells });
+    }
+    rows
+}
+
+/// Table 4: GTC weak scaling (3.2 M particles per processor).
+pub fn gtc_rows() -> Vec<Row> {
+    use gtc::model::{workload, TABLE4_CONFIGS};
+    TABLE4_CONFIGS
+        .iter()
+        .map(|&(procs, ppc)| {
+            let w = workload(procs);
+            let cells: [Option<Cell>; 7] = [
+                Some(eval(&Platform::get(PlatformId::Power3), &w)),
+                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
+                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
+                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
+                Some(eval_4ssp(&w)),
+                Some(eval(&Platform::get(PlatformId::Es), &w)),
+                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
+            ];
+            Row { procs, label: format!("{ppc} p/c"), cells }
+        })
+        .collect()
+}
+
+/// Table 5: LBMHD3D at 256³–1024³.
+pub fn lbmhd_rows() -> Vec<Row> {
+    use lbmhd::model::{workload, TABLE5_CONFIGS};
+    TABLE5_CONFIGS
+        .iter()
+        .map(|&(procs, n)| {
+            let w = workload(n, procs);
+            // The paper's X1 SSP column for LBMHD is per-SSP Gflop/s (not
+            // aggregate): divide the aggregate evaluation back by 4.
+            let ssp = {
+                let c = eval_4ssp(&w);
+                Cell { gflops: c.gflops / 4.0, ..c }
+            };
+            let cells: [Option<Cell>; 7] = [
+                Some(eval(&Platform::get(PlatformId::Power3), &w)),
+                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
+                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
+                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
+                Some(ssp),
+                Some(eval(&Platform::get(PlatformId::Es), &w)),
+                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
+            ];
+            Row { procs, label: format!("{n}^3"), cells }
+        })
+        .collect()
+}
+
+/// Table 6: PARATEC, 488-atom CdSe dot, 3 CG steps.
+pub fn paratec_rows() -> Vec<Row> {
+    use paratec::model::{workload, TABLE6_CONFIGS};
+    TABLE6_CONFIGS
+        .iter()
+        .map(|&procs| {
+            let w = workload(procs);
+            let cells: [Option<Cell>; 7] = [
+                Some(eval(&Platform::get(PlatformId::Power3), &w)),
+                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
+                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
+                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
+                Some(eval_4ssp(&w)),
+                Some(eval(&Platform::get(PlatformId::Es), &w)),
+                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
+            ];
+            Row { procs, label: String::new(), cells }
+        })
+        .collect()
+}
+
+/// Figure 8 data: the 256-processor slice of all four applications —
+/// (% of peak, speed relative to ES) per platform per app.
+pub struct Fig8App {
+    /// Application name.
+    pub app: &'static str,
+    /// Per-platform cells at P=256.
+    pub cells: [Option<Cell>; 7],
+}
+
+/// Collects the 256-processor rows of all four applications.
+pub fn fig8_apps() -> Vec<Fig8App> {
+    let pick = |rows: &[Row], label_filter: Option<&str>| -> [Option<Cell>; 7] {
+        rows.iter()
+            .find(|r| {
+                r.procs == 256
+                    && label_filter.map(|f| r.label.contains(f)).unwrap_or(true)
+            })
+            .map(|r| r.cells.clone())
+            .unwrap_or([None; 7])
+    };
+    vec![
+        Fig8App { app: "FVCAM", cells: pick(&fvcam_rows(), Some("2D Pz=4")) },
+        Fig8App { app: "GTC", cells: pick(&gtc_rows(), None) },
+        Fig8App { app: "LBMHD3D", cells: pick(&lbmhd_rows(), None) },
+        Fig8App { app: "PARATEC", cells: pick(&paratec_rows(), None) },
+    ]
+}
+
+/// Figure 2: runs the real FVCAM mini-app on the D mesh with 64 msim
+/// ranks (the paper's 64 MPI processes × 4 OpenMP threads = 256 CPUs) and
+/// captures the point-to-point traffic matrix for the 1D and the
+/// 2D (Pz = 4) decompositions. `scale` shrinks the mesh for quick runs
+/// (1 = full D mesh).
+pub fn fig2_traffic(pz: usize, scale: usize) -> (Vec<u64>, usize) {
+    let nlon = 576 / scale.max(1);
+    let nlat = 361 / scale.max(1);
+    let nlev = 26;
+    let ranks = 64;
+    let params = fvcam::FvParams { nlon, nlat, nlev, pz, courant: 0.3 };
+    let (_, traffic) = msim::run_with_traffic(ranks, move |comm| {
+        let mut sim = fvcam::FvSim::new(params, comm.rank(), comm.size());
+        // Capture a clean steady-state step, as IPM captures do.
+        sim.step(comm);
+        // One synchronized reset: all ranks must be past step 1 before the
+        // matrix is cleared, and none may start step 2 before it happens.
+        comm.barrier();
+        if comm.rank() == 0 {
+            comm.traffic().reset();
+        }
+        comm.barrier();
+        sim.step(comm);
+    })
+    .expect("fig2 capture run failed");
+    (traffic.snapshot(), ranks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_produce_rows() {
+        assert_eq!(gtc_rows().len(), 6);
+        assert_eq!(lbmhd_rows().len(), 6);
+        assert_eq!(paratec_rows().len(), 6);
+        assert_eq!(fvcam_rows().len(), 13);
+    }
+
+    #[test]
+    fn every_defined_cell_is_positive_and_below_peak() {
+        for rows in [gtc_rows(), lbmhd_rows(), paratec_rows(), fvcam_rows()] {
+            for r in rows {
+                for c in r.cells.iter().flatten() {
+                    assert!(c.gflops > 0.0);
+                    assert!(c.pct_peak > 0.0 && c.pct_peak <= 100.0, "{}", c.pct_peak);
+                    assert!(c.step_secs > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_has_all_four_apps() {
+        let apps = fig8_apps();
+        assert_eq!(apps.len(), 4);
+        for a in &apps {
+            assert!(a.cells.iter().any(|c| c.is_some()), "{} missing", a.app);
+        }
+    }
+
+    #[test]
+    fn fig2_capture_runs_on_a_reduced_mesh() {
+        let (matrix, ranks) = fig2_traffic(1, 8);
+        assert_eq!(matrix.len(), ranks * ranks);
+        assert!(matrix.iter().sum::<u64>() > 0);
+        // 1D: traffic only between adjacent ranks (and none on the
+        // diagonal).
+        for src in 0..ranks {
+            assert_eq!(matrix[src * ranks + src], 0, "self-traffic at {src}");
+            for dst in 0..ranks {
+                let d = (src as i64 - dst as i64).abs();
+                if matrix[src * ranks + dst] > 0 {
+                    assert!(d == 1, "1D run has traffic at distance {d}");
+                }
+            }
+        }
+    }
+}

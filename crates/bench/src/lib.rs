@@ -1,0 +1,14 @@
+//! The reproduction harness: drivers that regenerate every table and
+//! figure of the paper from the four applications' workload models and the
+//! architectural performance models.
+//!
+//! * [`experiments`] — per-table result generation (predictions for every
+//!   platform × configuration the paper reports).
+//! * [`render`] — turns results into the paper's table/figure layouts.
+//! * [`validate`] — side-by-side shape comparison against the published
+//!   numbers (`report::paper`), used both by `repro validate` and the
+//!   integration tests.
+
+pub mod experiments;
+pub mod render;
+pub mod validate;

@@ -1,0 +1,171 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage: `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|all]`
+//!
+//! `fig2` accepts an optional mesh divisor (default 4; 1 = the full D
+//! mesh, slower). `all` prints everything except `validate`.
+
+use bench::{experiments, render, validate};
+use report::paper;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    match what {
+        "table1" => print!("{}", render::table1().render()),
+        "table2" => table2(),
+        "fig2" => {
+            let scale: usize =
+                args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            fig2(scale);
+        }
+        "table3" => table3(),
+        "fig3" => {
+            print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS))
+        }
+        "fig4" => print!(
+            "{}",
+            render::fig4(
+                &experiments::fvcam_rows(),
+                &paper::FVCAM_PLATFORMS,
+                fvcam::model::D_MESH_STEPS_PER_DAY
+            )
+        ),
+        "table4" => print!(
+            "{}",
+            render::perf_table(
+                "Table 4: GTC performance (weak scaling, 3.2M particles/processor)",
+                &paper::PLATFORMS,
+                &experiments::gtc_rows()
+            )
+            .render()
+        ),
+        "table5" => print!(
+            "{}",
+            render::perf_table(
+                "Table 5: LBMHD3D performance",
+                &paper::PLATFORMS,
+                &experiments::lbmhd_rows()
+            )
+            .render()
+        ),
+        "table6" => print!(
+            "{}",
+            render::perf_table(
+                "Table 6: PARATEC performance (488-atom CdSe quantum dot)",
+                &paper::PLATFORMS,
+                &experiments::paratec_rows()
+            )
+            .render()
+        ),
+        "fig8" => {
+            print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS))
+        }
+        "validate" => validate_all(),
+        "all" => {
+            print!("{}", render::table1().render());
+            println!();
+            table2();
+            println!();
+            table3();
+            println!();
+            print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS));
+            println!();
+            print!(
+                "{}",
+                render::fig4(
+                    &experiments::fvcam_rows(),
+                    &paper::FVCAM_PLATFORMS,
+                    fvcam::model::D_MESH_STEPS_PER_DAY
+                )
+            );
+            println!();
+            for (title, rows) in [
+                ("Table 4: GTC performance", experiments::gtc_rows()),
+                ("Table 5: LBMHD3D performance", experiments::lbmhd_rows()),
+                ("Table 6: PARATEC performance", experiments::paratec_rows()),
+            ] {
+                print!("{}", render::perf_table(title, &paper::PLATFORMS, &rows).render());
+                println!();
+            }
+            print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS));
+            println!();
+            fig2(8);
+        }
+        other => {
+            eprintln!(
+                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table2() {
+    // Count this repository's lines per application crate.
+    let loc = |dir: &str| -> usize {
+        fn walk(p: &std::path::Path, acc: &mut usize) {
+            if let Ok(entries) = std::fs::read_dir(p) {
+                for e in entries.flatten() {
+                    let path = e.path();
+                    if path.is_dir() {
+                        walk(&path, acc);
+                    } else if path.extension().is_some_and(|x| x == "rs") {
+                        if let Ok(s) = std::fs::read_to_string(&path) {
+                            *acc += s.lines().count();
+                        }
+                    }
+                }
+            }
+        }
+        let mut acc = 0;
+        walk(std::path::Path::new(dir), &mut acc);
+        acc
+    };
+    let ours = [
+        ("FVCAM", loc("crates/fvcam")),
+        ("LBMHD3D", loc("crates/lbmhd")),
+        ("PARATEC", loc("crates/paratec")),
+        ("GTC", loc("crates/gtc")),
+    ];
+    print!("{}", render::table2(&ours).render());
+}
+
+fn table3() {
+    print!(
+        "{}",
+        render::perf_table(
+            "Table 3: FVCAM performance on the D mesh (0.5 x 0.625 deg)",
+            &paper::FVCAM_PLATFORMS,
+            &experiments::fvcam_rows()
+        )
+        .render()
+    );
+}
+
+fn fig2(scale: usize) {
+    eprintln!("capturing FVCAM traffic on a 1/{scale} D mesh (64 MPI ranks)...");
+    let (m1, ranks) = experiments::fig2_traffic(1, scale);
+    let (m2, _) = experiments::fig2_traffic(4, scale);
+    print!("{}", render::fig2(&m1, &m2, ranks));
+}
+
+fn validate_all() {
+    let cases = [
+        ("Table 3 (FVCAM)", experiments::fvcam_rows(), paper::table3()),
+        ("Table 4 (GTC)", experiments::gtc_rows(), paper::table4()),
+        ("Table 5 (LBMHD3D)", experiments::lbmhd_rows(), paper::table5()),
+        ("Table 6 (PARATEC)", experiments::paratec_rows(), paper::table6()),
+    ];
+    for (name, ours, published) in cases {
+        let shape = validate::compare(&ours, &published);
+        println!(
+            "{name}: ordering agreement {:.0}%, typical factor {:.2}x over {} rows",
+            shape.ordering * 100.0,
+            shape.factor,
+            shape.rows
+        );
+        print!("{}", validate::diff_table(name, &ours, &published));
+        println!();
+    }
+}

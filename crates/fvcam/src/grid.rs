@@ -1,0 +1,171 @@
+//! The sphere grid and per-rank field storage.
+//!
+//! The D mesh of the paper is 576 longitudes × 361 latitudes × 26 levels
+//! (0.5° × 0.625°). Fields are stored longitude-fastest — the innermost
+//! loops of the restructured (vectorized) dycore run over longitude, or
+//! over latitude after the §3.1 loop interchange; either way the x-stride
+//! is unit.
+
+/// Global grid dimensions and metric terms.
+#[derive(Clone, Debug)]
+pub struct SphereGrid {
+    /// Longitude points (periodic).
+    pub nlon: usize,
+    /// Latitude points (pole to pole).
+    pub nlat: usize,
+    /// Vertical levels.
+    pub nlev: usize,
+    /// cos(latitude) of each latitude row (area weight; small near poles).
+    pub coslat: Vec<f64>,
+}
+
+impl SphereGrid {
+    /// Builds the grid with latitudes uniformly spaced from −90° to +90°.
+    /// Pole rows get a small positive weight (cell centered ¼ row off the
+    /// pole) so area weights never vanish.
+    pub fn new(nlon: usize, nlat: usize, nlev: usize) -> Self {
+        let coslat = (0..nlat)
+            .map(|j| {
+                let lat = -std::f64::consts::FRAC_PI_2
+                    + std::f64::consts::PI * j as f64 / (nlat - 1) as f64;
+                lat.cos().max(std::f64::consts::PI / (4.0 * (nlat - 1) as f64))
+            })
+            .collect();
+        SphereGrid { nlon, nlat, nlev, coslat }
+    }
+
+    /// The paper's D mesh: 0.5° × 0.625°, 26 levels.
+    pub fn d_mesh() -> Self {
+        SphereGrid::new(576, 361, 26)
+    }
+
+    /// Latitude (radians) of row `j`.
+    pub fn latitude(&self, j: usize) -> f64 {
+        -std::f64::consts::FRAC_PI_2 + std::f64::consts::PI * j as f64 / (self.nlat - 1) as f64
+    }
+
+    /// Longitude (radians) of column `i`.
+    pub fn longitude(&self, i: usize) -> f64 {
+        std::f64::consts::TAU * i as f64 / self.nlon as f64
+    }
+
+    /// Grid spacing in longitude (radians).
+    pub fn dlon(&self) -> f64 {
+        std::f64::consts::TAU / self.nlon as f64
+    }
+
+    /// Grid spacing in latitude (radians).
+    pub fn dlat(&self) -> f64 {
+        std::f64::consts::PI / (self.nlat - 1) as f64
+    }
+
+    /// Cell area weight at row `j` (relative units).
+    pub fn area(&self, j: usize) -> f64 {
+        self.coslat[j] * self.dlon() * self.dlat()
+    }
+}
+
+/// One rank's block of one level: `nlat_local + 2·halo` rows of `nlon`
+/// points (longitude is always complete in the dynamics decomposition).
+#[derive(Clone, Debug)]
+pub struct LevelBlock {
+    /// Longitude points (global).
+    pub nlon: usize,
+    /// Local latitude rows (excluding halo).
+    pub nlat: usize,
+    /// Halo rows on each side.
+    pub halo: usize,
+    /// `(nlat + 2·halo) × nlon` values, longitude fastest.
+    pub data: Vec<f64>,
+}
+
+impl LevelBlock {
+    /// Allocates a zero block.
+    pub fn zeros(nlon: usize, nlat: usize, halo: usize) -> Self {
+        LevelBlock { nlon, nlat, halo, data: vec![0.0; (nlat + 2 * halo) * nlon] }
+    }
+
+    /// Linear index of local row `j` (0 = first interior row) and
+    /// longitude `i`.
+    #[inline(always)]
+    pub fn idx(&self, j: isize, i: usize) -> usize {
+        let jj = (j + self.halo as isize) as usize;
+        debug_assert!(jj < self.nlat + 2 * self.halo && i < self.nlon);
+        jj * self.nlon + i
+    }
+
+    /// Value at local row `j`, longitude `i` (rows in
+    /// `-halo..nlat+halo`).
+    #[inline(always)]
+    pub fn get(&self, j: isize, i: usize) -> f64 {
+        self.data[self.idx(j, i)]
+    }
+
+    /// Mutable value at local row `j`, longitude `i`.
+    #[inline(always)]
+    pub fn get_mut(&mut self, j: isize, i: usize) -> &mut f64 {
+        let ix = self.idx(j, i);
+        &mut self.data[ix]
+    }
+
+    /// A full interior row as a slice.
+    pub fn row(&self, j: isize) -> &[f64] {
+        let start = self.idx(j, 0);
+        &self.data[start..start + self.nlon]
+    }
+
+    /// A full interior row as a mutable slice.
+    pub fn row_mut(&mut self, j: isize) -> &mut [f64] {
+        let start = self.idx(j, 0);
+        &mut self.data[start..start + self.nlon]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_mesh_matches_paper() {
+        let g = SphereGrid::d_mesh();
+        assert_eq!((g.nlon, g.nlat, g.nlev), (576, 361, 26));
+        // 0.625° longitudinal spacing.
+        assert!((g.dlon().to_degrees() - 0.625).abs() < 1e-12);
+        // 0.5° latitudinal spacing.
+        assert!((g.dlat().to_degrees() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn area_weights_are_positive_and_symmetric() {
+        let g = SphereGrid::new(64, 33, 4);
+        for j in 0..g.nlat {
+            assert!(g.area(j) > 0.0);
+            let mirror = g.nlat - 1 - j;
+            assert!((g.area(j) - g.area(mirror)).abs() < 1e-12, "row {j}");
+        }
+        // Equator has the largest cells.
+        let eq = g.nlat / 2;
+        for j in 0..g.nlat {
+            assert!(g.area(j) <= g.area(eq) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn latitudes_span_pole_to_pole() {
+        let g = SphereGrid::new(16, 19, 2);
+        assert!((g.latitude(0) + std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((g.latitude(18) - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_indexing_with_halo() {
+        let mut b = LevelBlock::zeros(8, 4, 2);
+        *b.get_mut(-2, 0) = 1.0; // north halo edge
+        *b.get_mut(5, 7) = 2.0; // south halo edge
+        *b.get_mut(0, 3) = 3.0;
+        assert_eq!(b.get(-2, 0), 1.0);
+        assert_eq!(b.get(5, 7), 2.0);
+        assert_eq!(b.row(0)[3], 3.0);
+        assert_eq!(b.data.len(), 8 * 8);
+    }
+}

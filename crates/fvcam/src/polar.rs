@@ -1,0 +1,171 @@
+//! FFT polar filters.
+//!
+//! Near the poles the converging meridians make zonal grid spacing tiny;
+//! FVCAM stabilizes the longer timestep by damping high zonal wavenumbers
+//! along complete longitude lines poleward of a threshold latitude. As the
+//! paper's §3.1 explains, vectorization is attained *across* the FFTs
+//! (with respect to latitude), not within one FFT — so the effective
+//! vector length is the number of filtered latitude rows per rank, which
+//! shrinks as the latitude decomposition gets finer. That is the vector
+//! machines' scaling limiter in Table 3, and the model reads the batch
+//! size from this module's accounting.
+
+use kernels::fft::{Direction, FftPlan};
+use kernels::Complex64;
+
+use crate::grid::{LevelBlock, SphereGrid};
+
+/// Latitude (degrees, absolute) poleward of which rows are filtered.
+pub const FILTER_LATITUDE_DEG: f64 = 60.0;
+
+/// A reusable polar filter for one grid.
+pub struct PolarFilter {
+    plan: FftPlan,
+    /// Damping factor per zonal wavenumber (precomputed, length nlon).
+    damping: Vec<f64>,
+    /// Rows filtered so far (instrumentation: the FFT batch count).
+    pub rows_filtered: u64,
+}
+
+impl PolarFilter {
+    /// Builds the filter for `nlon` longitudes: wavenumbers above 1/4 of
+    /// the spectrum are progressively damped.
+    pub fn new(nlon: usize) -> Self {
+        let damping = (0..nlon)
+            .map(|k| {
+                // Symmetric wavenumber index.
+                let kk = k.min(nlon - k) as f64;
+                let kc = nlon as f64 / 8.0;
+                if kk <= kc {
+                    1.0
+                } else {
+                    // Smooth roll-off to strong damping at Nyquist.
+                    let t = ((kk - kc) / (nlon as f64 / 2.0 - kc)).clamp(0.0, 1.0);
+                    (1.0 - t).powi(2)
+                }
+            })
+            .collect();
+        PolarFilter { plan: FftPlan::new(nlon), damping, rows_filtered: 0 }
+    }
+
+    /// True when global latitude row `j` needs filtering.
+    pub fn needs_filter(grid: &SphereGrid, j: usize) -> bool {
+        grid.latitude(j).to_degrees().abs() >= FILTER_LATITUDE_DEG
+    }
+
+    /// Filters all qualifying rows of a block. Returns the number of rows
+    /// transformed (2 FFTs each).
+    pub fn apply(&mut self, grid: &SphereGrid, q: &mut LevelBlock, lat0: usize) -> usize {
+        let mut rows = 0;
+        let mut line = vec![Complex64::ZERO; q.nlon];
+        for j in 0..q.nlat {
+            if !Self::needs_filter(grid, lat0 + j) {
+                continue;
+            }
+            let row = q.row_mut(j as isize);
+            for (l, &v) in line.iter_mut().zip(row.iter()) {
+                *l = Complex64::real(v);
+            }
+            self.plan.execute(&mut line, Direction::Forward);
+            for (l, d) in line.iter_mut().zip(&self.damping) {
+                *l = l.scale(*d);
+            }
+            self.plan.execute(&mut line, Direction::Inverse);
+            for (v, l) in row.iter_mut().zip(&line) {
+                *v = l.re;
+            }
+            rows += 1;
+        }
+        self.rows_filtered += rows as u64;
+        rows
+    }
+
+    /// Flops per filtered row (two transforms plus the spectral scaling).
+    pub fn flops_per_row(&self) -> f64 {
+        2.0 * self.plan.flops() + 2.0 * self.plan.len() as f64
+    }
+}
+
+/// Number of filtered latitude rows in the whole grid (both polar caps).
+pub fn filtered_rows_global(grid: &SphereGrid) -> usize {
+    (0..grid.nlat).filter(|&j| PolarFilter::needs_filter(grid, j)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_latitudes_are_polar_caps() {
+        let g = SphereGrid::new(64, 181, 4);
+        assert!(PolarFilter::needs_filter(&g, 0));
+        assert!(PolarFilter::needs_filter(&g, 180));
+        assert!(!PolarFilter::needs_filter(&g, 90)); // equator
+        // 60° boundary: |lat| of row 30 is 60° exactly.
+        assert!(PolarFilter::needs_filter(&g, 30));
+        assert!(!PolarFilter::needs_filter(&g, 31));
+    }
+
+    #[test]
+    fn filter_preserves_zonal_mean() {
+        // Wavenumber 0 must pass untouched: the row average is invariant.
+        let g = SphereGrid::new(32, 9, 1);
+        let mut q = LevelBlock::zeros(32, 9, 2);
+        for j in 0..9 {
+            for i in 0..32 {
+                *q.get_mut(j as isize, i) = 2.0 + (i as f64 * 0.9).sin() + (j as f64) * 0.1;
+            }
+        }
+        let means_before: Vec<f64> =
+            (0..9).map(|j| q.row(j as isize).iter().sum::<f64>() / 32.0).collect();
+        let mut f = PolarFilter::new(32);
+        f.apply(&g, &mut q, 0);
+        for j in 0..9 {
+            let mean = q.row(j as isize).iter().sum::<f64>() / 32.0;
+            assert!((mean - means_before[j]).abs() < 1e-12, "row {j}");
+        }
+    }
+
+    #[test]
+    fn filter_damps_high_wavenumbers() {
+        let g = SphereGrid::new(64, 5, 1);
+        let mut q = LevelBlock::zeros(64, 5, 2);
+        // Pure Nyquist-adjacent signal on a polar row.
+        for i in 0..64 {
+            *q.get_mut(0, i) = (std::f64::consts::PI * i as f64 * 0.9).sin();
+        }
+        let amp_before: f64 = q.row(0).iter().map(|v| v * v).sum();
+        let mut f = PolarFilter::new(64);
+        let rows = f.apply(&g, &mut q, 0);
+        assert!(rows > 0);
+        let amp_after: f64 = q.row(0).iter().map(|v| v * v).sum();
+        assert!(
+            amp_after < 0.2 * amp_before,
+            "high-k energy not damped: {amp_before} -> {amp_after}"
+        );
+    }
+
+    #[test]
+    fn smooth_fields_pass_nearly_unchanged() {
+        let g = SphereGrid::new(64, 5, 1);
+        let mut q = LevelBlock::zeros(64, 5, 2);
+        for i in 0..64 {
+            // Wavenumber 2: well inside the passband.
+            *q.get_mut(0, i) = (std::f64::consts::TAU * 2.0 * i as f64 / 64.0).cos();
+        }
+        let before = q.row(0).to_vec();
+        let mut f = PolarFilter::new(64);
+        f.apply(&g, &mut q, 0);
+        for (a, b) in q.row(0).iter().zip(&before) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn global_filtered_row_count_matches_caps() {
+        let g = SphereGrid::d_mesh();
+        let n = filtered_rows_global(&g);
+        // 60..90° both caps on a 0.5° grid: 61 rows per cap (inclusive).
+        assert_eq!(n, 122);
+    }
+}

@@ -1,0 +1,210 @@
+//! Toroidal simulation geometry and field storage.
+//!
+//! The torus is discretized as `mzeta` poloidal planes (toroidal angle ζ),
+//! each an annular (r, θ) grid of `mpsi × mtheta` points. GTC's field-line
+//! coordinates make the potential quasi-2D along ζ, which is why the
+//! toroidal direction never needs more than ~64 planes (paper §4.1) — the
+//! physics, not the algorithm, caps the 1D domain decomposition.
+
+/// The annular poloidal grid shared by all planes.
+#[derive(Clone, Copy, Debug)]
+pub struct PoloidalGrid {
+    /// Radial points (inner wall to outer wall).
+    pub mpsi: usize,
+    /// Poloidal points (periodic).
+    pub mtheta: usize,
+    /// Inner minor radius.
+    pub r_inner: f64,
+    /// Outer minor radius.
+    pub r_outer: f64,
+}
+
+impl PoloidalGrid {
+    /// Radial grid spacing.
+    pub fn dr(&self) -> f64 {
+        (self.r_outer - self.r_inner) / (self.mpsi - 1) as f64
+    }
+
+    /// Poloidal grid spacing in radians.
+    pub fn dtheta(&self) -> f64 {
+        std::f64::consts::TAU / self.mtheta as f64
+    }
+
+    /// Number of grid points per plane.
+    pub fn len(&self) -> usize {
+        self.mpsi * self.mtheta
+    }
+
+    /// True for a degenerate empty grid (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of radial index `i`, poloidal index `j` (periodic).
+    #[inline(always)]
+    pub fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mpsi);
+        i * self.mtheta + (j % self.mtheta)
+    }
+
+    /// Radius of radial index `i`.
+    pub fn radius(&self, i: usize) -> f64 {
+        self.r_inner + i as f64 * self.dr()
+    }
+
+    /// Maps a particle's `(r, θ)` to bilinear stencil weights:
+    /// `((i, j), (wr, wt))` with the four corners `(i, j), (i+1, j),
+    /// (i, j+1), (i+1, j+1)` weighted `(1−wr)(1−wt)` etc. `r` is clamped to
+    /// the annulus.
+    #[inline]
+    pub fn locate(&self, r: f64, theta: f64) -> ((usize, usize), (f64, f64)) {
+        let rr = r.clamp(self.r_inner, self.r_outer - 1e-12 * self.dr());
+        let fi = (rr - self.r_inner) / self.dr();
+        let i = (fi as usize).min(self.mpsi - 2);
+        let wr = fi - i as f64;
+        let t = theta.rem_euclid(std::f64::consts::TAU);
+        let ft = t / self.dtheta();
+        let j = (ft as usize).min(self.mtheta - 1);
+        let wt = ft - j as f64;
+        ((i, j), (wr, wt))
+    }
+}
+
+/// The toroidal safety-factor profile q(r): field-line twist used by the
+/// particle push. A mild monotone profile like real tokamaks.
+pub fn safety_factor(r: f64) -> f64 {
+    0.85 + 2.2 * r * r
+}
+
+/// Per-plane scalar fields of one toroidal domain.
+#[derive(Clone, Debug)]
+pub struct Fields {
+    /// The poloidal grid.
+    pub grid: PoloidalGrid,
+    /// Local toroidal planes.
+    pub mzeta: usize,
+    /// Charge density per plane (`mzeta` × grid.len()).
+    pub charge: Vec<Vec<f64>>,
+    /// Electrostatic potential per plane.
+    pub phi: Vec<Vec<f64>>,
+    /// Radial electric field per plane.
+    pub e_r: Vec<Vec<f64>>,
+    /// Poloidal electric field per plane.
+    pub e_theta: Vec<Vec<f64>>,
+}
+
+impl Fields {
+    /// Allocates zero-filled fields for `mzeta` local planes.
+    pub fn new(grid: PoloidalGrid, mzeta: usize) -> Self {
+        let z = || (0..mzeta).map(|_| vec![0.0; grid.len()]).collect::<Vec<_>>();
+        Fields { grid, mzeta, charge: z(), phi: z(), e_r: z(), e_theta: z() }
+    }
+
+    /// Computes E = −∇φ on every plane (central differences; one-sided at
+    /// the radial walls).
+    pub fn electric_field_from_phi(&mut self) {
+        let g = self.grid;
+        let (dr, dt) = (g.dr(), g.dtheta());
+        for z in 0..self.mzeta {
+            let phi = &self.phi[z];
+            let er = &mut self.e_r[z];
+            let et = &mut self.e_theta[z];
+            for i in 0..g.mpsi {
+                let r = g.radius(i).max(1e-9);
+                for j in 0..g.mtheta {
+                    let ix = g.idx(i, j);
+                    // Radial derivative.
+                    let dphi_dr = if i == 0 {
+                        (phi[g.idx(1, j)] - phi[ix]) / dr
+                    } else if i == g.mpsi - 1 {
+                        (phi[ix] - phi[g.idx(i - 1, j)]) / dr
+                    } else {
+                        (phi[g.idx(i + 1, j)] - phi[g.idx(i - 1, j)]) / (2.0 * dr)
+                    };
+                    // Poloidal derivative (periodic).
+                    let jp = (j + 1) % g.mtheta;
+                    let jm = (j + g.mtheta - 1) % g.mtheta;
+                    let dphi_dt = (phi[g.idx(i, jp)] - phi[g.idx(i, jm)]) / (2.0 * dt);
+                    er[ix] = -dphi_dr;
+                    et[ix] = -dphi_dt / r;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> PoloidalGrid {
+        PoloidalGrid { mpsi: 9, mtheta: 16, r_inner: 0.1, r_outer: 0.9 }
+    }
+
+    #[test]
+    fn spacing_and_radius() {
+        let g = grid();
+        assert!((g.dr() - 0.1).abs() < 1e-15);
+        assert!((g.radius(0) - 0.1).abs() < 1e-15);
+        assert!((g.radius(8) - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn locate_interpolates_linearly() {
+        let g = grid();
+        let ((i, j), (wr, wt)) = g.locate(0.25, 0.0);
+        assert_eq!(i, 1);
+        assert!((wr - 0.5).abs() < 1e-12);
+        assert_eq!(j, 0);
+        assert!(wt.abs() < 1e-12);
+    }
+
+    #[test]
+    fn locate_clamps_radius() {
+        let g = grid();
+        let ((i, _), (wr, _)) = g.locate(2.0, 0.0);
+        assert_eq!(i, g.mpsi - 2);
+        assert!(wr <= 1.0);
+        let ((i0, _), (wr0, _)) = g.locate(0.0, 0.0);
+        assert_eq!(i0, 0);
+        assert_eq!(wr0, 0.0);
+    }
+
+    #[test]
+    fn locate_wraps_theta() {
+        let g = grid();
+        let ((_, j1), _) = g.locate(0.5, 0.1);
+        let ((_, j2), _) = g.locate(0.5, 0.1 + std::f64::consts::TAU);
+        assert_eq!(j1, j2);
+    }
+
+    #[test]
+    fn electric_field_of_linear_potential_is_constant() {
+        let g = grid();
+        let mut f = Fields::new(g, 2);
+        // φ = 3 r  →  E_r = −3, E_θ = 0.
+        for z in 0..2 {
+            for i in 0..g.mpsi {
+                for j in 0..g.mtheta {
+                    f.phi[z][g.idx(i, j)] = 3.0 * g.radius(i);
+                }
+            }
+        }
+        f.electric_field_from_phi();
+        for z in 0..2 {
+            for i in 0..g.mpsi {
+                for j in 0..g.mtheta {
+                    let ix = g.idx(i, j);
+                    assert!((f.e_r[z][ix] + 3.0).abs() < 1e-12, "E_r at ({i},{j})");
+                    assert!(f.e_theta[z][ix].abs() < 1e-12, "E_θ at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn safety_factor_is_monotone() {
+        assert!(safety_factor(0.2) < safety_factor(0.8));
+        assert!(safety_factor(0.0) > 0.0);
+    }
+}

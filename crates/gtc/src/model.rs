@@ -1,0 +1,204 @@
+//! Analytic workload model for Table 4's configurations.
+//!
+//! Table 4 is a weak-scaling study: the grid stays fixed while the particle
+//! count grows with the processor count (100 particles/cell at P=64 up to
+//! 3200 at P=2048), keeping ~3.2 million markers per processor. The
+//! per-marker kernel costs below are the audited constants of the real
+//! implementation (`deposit`, `push`), validated against instrumented runs
+//! in the tests.
+
+use hec_arch::{CommEvent, PhaseProfile, WorkloadProfile};
+
+use crate::deposit::{FLOPS_PER_PARTICLE as DEPOSIT_FLOPS, SCATTER_POINTS};
+use crate::particles::ATTRS;
+use crate::push::{GATHER_FLOPS_PER_PARTICLE, PUSH_FLOPS_PER_PARTICLE};
+
+/// The production grid of the paper's benchmark problem (per-domain plane
+/// sizes; the torus has 64 domains in all Table 4 runs).
+pub const NDOMAINS: usize = 64;
+
+/// Markers per processor in every Table 4 configuration ("each processor
+/// follows about 3.2 million particles").
+pub const PARTICLES_PER_PROC: f64 = 3.2e6;
+
+/// Grid points per poloidal plane of the benchmark problem (the paper's
+/// device-scale grid; fixed across the weak scaling).
+pub const PLANE_POINTS: f64 = 128.0 * 1024.0;
+
+/// Toroidal planes per domain.
+pub const MZETA_LOCAL: f64 = 1.0;
+
+/// Fraction of markers crossing a wedge boundary per step (measured from
+/// the instrumented mini-app runs; see `shift_fraction_is_close` test).
+pub const SHIFT_FRACTION: f64 = 0.05;
+
+/// The (processors, particles-per-cell) pairs of paper Table 4.
+pub const TABLE4_CONFIGS: [(usize, usize); 6] =
+    [(64, 100), (128, 200), (256, 400), (512, 800), (1024, 1600), (2048, 3200)];
+
+/// Workload profile for one GTC step on `procs` processors with
+/// `PARTICLES_PER_PROC` markers each.
+pub fn workload(procs: usize) -> WorkloadProfile {
+    let np = PARTICLES_PER_PROC;
+    let npe = (procs / NDOMAINS).max(1);
+    let grid_bytes = PLANE_POINTS * (MZETA_LOCAL + 1.0) * 8.0;
+
+    let mut w = WorkloadProfile::new("GTC", procs);
+
+    // --- Charge deposition: random scatter (read+modify+write 32 grid
+    // points per marker) plus streaming reads of the marker arrays.
+    let mut dep = PhaseProfile::new("charge deposition");
+    dep.flops = np * DEPOSIT_FLOPS;
+    // The work-vector method vectorizes the scatter fully; the remaining
+    // scalar work is the ring/stencil index arithmetic.
+    dep.vector_fraction = 0.99;
+    dep.avg_vector_length = 256.0;
+    dep.unit_stride_bytes = np * (ATTRS as f64) * 8.0;
+    dep.gather_scatter_bytes = np * (SCATTER_POINTS as f64) * 8.0 * 2.0;
+    // The deposition's random writes land on one plane's grid — about a
+    // megabyte — which is what the cache machines keep resident.
+    dep.working_set_bytes = PLANE_POINTS * 8.0;
+    dep.cacheable_fraction = 0.35; // grid reuse: nearby markers share cells
+    dep.dense_fraction = 0.05;
+    dep.concurrent_streams = 8.0;
+    w.phases.push(dep);
+
+    // --- Poisson solve: grid work, small next to the particle phases
+    // (paper: ~85 % of the runtime is particle work).
+    let mut poi = PhaseProfile::new("poisson solve");
+    let cg_iters = 40.0;
+    poi.flops = cg_iters * 15.0 * PLANE_POINTS * MZETA_LOCAL;
+    poi.vector_fraction = 0.98;
+    poi.avg_vector_length = 512.0;
+    poi.unit_stride_bytes = cg_iters * 5.0 * 8.0 * PLANE_POINTS * MZETA_LOCAL;
+    poi.working_set_bytes = grid_bytes;
+    poi.cacheable_fraction = 0.5;
+    poi.dense_fraction = 0.2;
+    poi.concurrent_streams = 6.0;
+    w.phases.push(poi);
+
+    // --- Field gather: the read-side mirror of the deposition.
+    let mut gat = PhaseProfile::new("field gather");
+    gat.flops = np * GATHER_FLOPS_PER_PARTICLE;
+    gat.vector_fraction = 0.99;
+    gat.avg_vector_length = 256.0;
+    gat.unit_stride_bytes = np * (ATTRS as f64) * 8.0;
+    // Two field components × two planes × 16 stencil points, read-only.
+    gat.gather_scatter_bytes = np * 64.0 * 8.0;
+    gat.working_set_bytes = 2.0 * PLANE_POINTS * 8.0;
+    gat.cacheable_fraction = 0.35;
+    gat.dense_fraction = 0.05;
+    gat.concurrent_streams = 8.0;
+    w.phases.push(gat);
+
+    // --- Push: pure streaming over the marker arrays.
+    let mut psh = PhaseProfile::new("particle push");
+    psh.flops = np * PUSH_FLOPS_PER_PARTICLE;
+    psh.vector_fraction = 0.99;
+    psh.avg_vector_length = 256.0;
+    psh.unit_stride_bytes = np * (ATTRS as f64) * 8.0 * 2.0;
+    psh.working_set_bytes = np * (ATTRS as f64) * 8.0;
+    psh.dense_fraction = 0.25; // straight-line RK arithmetic
+    psh.concurrent_streams = 12.0;
+    w.phases.push(psh);
+
+    // --- Communication: the particle-decomposition Allreduce of the wedge
+    // charge (paper §4.2's new cost), the toroidal ghost exchanges, and
+    // the particle shift.
+    if npe > 1 {
+        w.comm.push(CommEvent::Allreduce { bytes: grid_bytes, procs: npe as f64 });
+    }
+    w.comm.push(CommEvent::Halo {
+        bytes: PLANE_POINTS * 8.0,
+        neighbors: 2.0,
+    });
+    w.comm.push(CommEvent::Halo {
+        bytes: SHIFT_FRACTION * np * (ATTRS as f64) * 8.0,
+        neighbors: 2.0,
+    });
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{GtcParams, GtcSim};
+
+    #[test]
+    fn per_marker_flop_constants_match_instrumented_run() {
+        // One step of the real mini-app: flops() must equal the analytic
+        // per-marker constants × marker counts plus the CG share.
+        let params = GtcParams { particles_per_domain: 500, ..Default::default() };
+        msim::run(4, move |world| {
+            let mut sim = GtcSim::new(params, world);
+            sim.step(world);
+            let n = sim.counters.deposited as f64;
+            let analytic_particle = n
+                * (DEPOSIT_FLOPS + GATHER_FLOPS_PER_PARTICLE + PUSH_FLOPS_PER_PARTICLE);
+            let cg = sim.counters.cg_iterations as f64
+                * (crate::poisson::operator_flops(&sim.fields.grid)
+                    + 10.0 * sim.fields.grid.len() as f64);
+            assert!((sim.flops() - (analytic_particle + cg)).abs() < 1e-6);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn shift_fraction_is_close_to_model_constant() {
+        // Measured crossing rate should be the same order as the model's
+        // SHIFT_FRACTION (|v̄|·dt / wedge size sets it).
+        let params = GtcParams {
+            particles_per_domain: 4000,
+            dt: 0.02,
+            ..Default::default()
+        };
+        let frac = msim::run(4, move |world| {
+            let mut sim = GtcSim::new(params, world);
+            sim.run(world, 5);
+            sim.counters.shifted as f64 / (5.0 * sim.particles.len().max(1) as f64)
+        })
+        .unwrap();
+        let mean = frac.iter().sum::<f64>() / frac.len() as f64;
+        assert!(
+            mean > SHIFT_FRACTION * 0.1 && mean < SHIFT_FRACTION * 10.0,
+            "measured shift fraction {mean} vs model {SHIFT_FRACTION}"
+        );
+    }
+
+    #[test]
+    fn weak_scaling_keeps_flops_per_proc_constant() {
+        let f64_ref = workload(64).total_flops();
+        for (p, _) in TABLE4_CONFIGS {
+            let f = workload(p).total_flops();
+            assert!((f - f64_ref).abs() < 1e-6, "weak scaling broken at P={p}");
+        }
+    }
+
+    #[test]
+    fn allreduce_appears_only_with_particle_decomposition() {
+        let w64 = workload(64); // npe = 1: no particle decomposition
+        assert!(!w64
+            .comm
+            .iter()
+            .any(|e| matches!(e, CommEvent::Allreduce { .. })));
+        let w512 = workload(512); // npe = 8
+        assert!(w512
+            .comm
+            .iter()
+            .any(|e| matches!(e, CommEvent::Allreduce { procs, .. } if *procs == 8.0)));
+    }
+
+    #[test]
+    fn particle_phases_dominate() {
+        // The paper: computational work directly involving particles is
+        // ~85 % of the total.
+        let w = workload(512);
+        let particle_flops: f64 = w
+            .phases
+            .iter()
+            .filter(|p| p.name != "poisson solve")
+            .map(|p| p.flops)
+            .sum();
+        assert!(particle_flops / w.total_flops() > 0.85);
+    }
+}

@@ -1,0 +1,181 @@
+//! Marker-particle storage and loading.
+//!
+//! Structure-of-arrays layout: the particle loops are the vector loops of
+//! GTC (millions of trip counts), so each attribute lives in its own
+//! contiguous array, exactly like the F90 original.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of `f64` attributes per particle (the wire format for shifts).
+pub const ATTRS: usize = 6;
+
+/// SoA marker-particle arrays for one rank.
+#[derive(Clone, Debug, Default)]
+pub struct Particles {
+    /// Minor radius r.
+    pub r: Vec<f64>,
+    /// Poloidal angle θ.
+    pub theta: Vec<f64>,
+    /// Toroidal angle ζ (global, 0..2π).
+    pub zeta: Vec<f64>,
+    /// Parallel velocity v∥.
+    pub v_par: Vec<f64>,
+    /// δf weight w.
+    pub weight: Vec<f64>,
+    /// Gyroradius ρ (sets the 4-point gyro-averaging ring).
+    pub rho: Vec<f64>,
+}
+
+impl Particles {
+    /// Number of markers held.
+    pub fn len(&self) -> usize {
+        self.r.len()
+    }
+
+    /// True when no markers are held.
+    pub fn is_empty(&self) -> bool {
+        self.r.is_empty()
+    }
+
+    /// Appends one marker.
+    pub fn push(&mut self, p: [f64; ATTRS]) {
+        self.r.push(p[0]);
+        self.theta.push(p[1]);
+        self.zeta.push(p[2]);
+        self.v_par.push(p[3]);
+        self.weight.push(p[4]);
+        self.rho.push(p[5]);
+    }
+
+    /// Reads marker `i` as a flat attribute array.
+    pub fn get(&self, i: usize) -> [f64; ATTRS] {
+        [self.r[i], self.theta[i], self.zeta[i], self.v_par[i], self.weight[i], self.rho[i]]
+    }
+
+    /// Removes marker `i` by swap-remove (order not preserved) and returns
+    /// its attributes.
+    pub fn swap_remove(&mut self, i: usize) -> [f64; ATTRS] {
+        [
+            self.r.swap_remove(i),
+            self.theta.swap_remove(i),
+            self.zeta.swap_remove(i),
+            self.v_par.swap_remove(i),
+            self.weight.swap_remove(i),
+            self.rho.swap_remove(i),
+        ]
+    }
+
+    /// Serializes markers at `indices` into a flat buffer and removes them
+    /// (descending-index swap-removes keep earlier indices valid).
+    pub fn extract(&mut self, mut indices: Vec<usize>) -> Vec<f64> {
+        indices.sort_unstable_by(|a, b| b.cmp(a));
+        let mut buf = Vec::with_capacity(indices.len() * ATTRS);
+        for i in indices {
+            buf.extend_from_slice(&self.swap_remove(i));
+        }
+        buf
+    }
+
+    /// Appends markers from a flat buffer produced by [`Particles::extract`].
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of [`ATTRS`].
+    pub fn absorb(&mut self, buf: &[f64]) {
+        assert_eq!(buf.len() % ATTRS, 0, "corrupt particle buffer");
+        for chunk in buf.chunks_exact(ATTRS) {
+            self.push([chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5]]);
+        }
+    }
+
+    /// Sum of marker weights (the conserved total δf charge).
+    pub fn total_weight(&self) -> f64 {
+        self.weight.iter().sum()
+    }
+}
+
+/// Loads `count` markers uniformly over the annulus `[r_in, r_out]` ×
+/// θ ∈ [0, 2π) × the toroidal wedge `[zeta_lo, zeta_hi)`, with a
+/// Maxwellian-ish parallel velocity and small uniform gyroradius.
+///
+/// Deterministic per `(seed)`: reloading with the same seed reproduces the
+/// ensemble exactly.
+pub fn load_uniform(
+    count: usize,
+    r_in: f64,
+    r_out: f64,
+    zeta_lo: f64,
+    zeta_hi: f64,
+    seed: u64,
+) -> Particles {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p = Particles::default();
+    for _ in 0..count {
+        // Uniform in area: r ∝ sqrt(U) between the walls.
+        let u: f64 = rng.gen();
+        let r = (r_in * r_in + u * (r_out * r_out - r_in * r_in)).sqrt();
+        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
+        let zeta = zeta_lo + rng.gen::<f64>() * (zeta_hi - zeta_lo);
+        // Sum of uniforms ≈ Gaussian (Irwin–Hall, k = 6).
+        let v: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0;
+        let weight = 1.0 + 0.01 * (theta.sin() + zeta.cos());
+        let rho = 0.01 + 0.005 * rng.gen::<f64>();
+        p.push([r, theta, zeta, v, weight, rho]);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_is_deterministic() {
+        let a = load_uniform(100, 0.1, 0.9, 0.0, 1.0, 42);
+        let b = load_uniform(100, 0.1, 0.9, 0.0, 1.0, 42);
+        assert_eq!(a.r, b.r);
+        assert_eq!(a.v_par, b.v_par);
+    }
+
+    #[test]
+    fn load_respects_bounds() {
+        let p = load_uniform(500, 0.2, 0.8, 1.0, 2.0, 7);
+        assert_eq!(p.len(), 500);
+        for i in 0..p.len() {
+            assert!(p.r[i] >= 0.2 && p.r[i] <= 0.8);
+            assert!(p.zeta[i] >= 1.0 && p.zeta[i] < 2.0);
+            assert!(p.theta[i] >= 0.0 && p.theta[i] < std::f64::consts::TAU);
+        }
+    }
+
+    #[test]
+    fn extract_absorb_round_trip_preserves_multiset() {
+        let mut p = load_uniform(50, 0.1, 0.9, 0.0, 1.0, 3);
+        let w_before = p.total_weight();
+        let buf = p.extract(vec![0, 10, 49, 25]);
+        assert_eq!(p.len(), 46);
+        assert_eq!(buf.len(), 4 * ATTRS);
+        let mut q = Particles::default();
+        q.absorb(&buf);
+        assert_eq!(q.len(), 4);
+        assert!((p.total_weight() + q.total_weight() - w_before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn velocity_distribution_is_centered() {
+        let p = load_uniform(20_000, 0.1, 0.9, 0.0, 1.0, 11);
+        let mean: f64 = p.v_par.iter().sum::<f64>() / p.len() as f64;
+        let var: f64 =
+            p.v_par.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / p.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        // Irwin–Hall k=6 has variance 1/2.
+        assert!((var - 0.5).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt particle buffer")]
+    fn absorb_rejects_misaligned_buffer() {
+        let mut p = Particles::default();
+        p.absorb(&[1.0; 7]);
+    }
+}

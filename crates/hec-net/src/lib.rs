@@ -1,0 +1,23 @@
+//! Interconnect models for the seven evaluated HEC platforms.
+//!
+//! Table 1 of the paper characterizes each network by measured MPI latency,
+//! measured per-CPU bidirectional bandwidth, and topology (fat-tree for the
+//! commodity clusters, 4D hypercube for the X1/X1E, single-stage crossbar
+//! for the Earth Simulator, and the NEC IXS for the SX-8). This crate turns
+//! those numbers into a cost model:
+//!
+//! * [`topology`] — hop-count/diameter/bisection models for each topology;
+//! * [`cost`] — the latency–bandwidth (Hockney) message model, with
+//!   contention factors derived from the topology and communication pattern;
+//! * [`collectives`] — analytic cost of allreduce / alltoall / transpose
+//!   built from the pt2pt model.
+//!
+//! The *patterns* fed into these models come from the real applications via
+//! `msim`'s traffic capture; this crate never invents traffic.
+
+pub mod collectives;
+pub mod cost;
+pub mod topology;
+
+pub use cost::{NetworkModel, NetworkParams};
+pub use topology::Topology;

@@ -1,0 +1,395 @@
+//! One-dimensional complex-to-complex FFT.
+//!
+//! PARATEC and the FVCAM polar filters both need FFTs over lengths that are
+//! not powers of two (FVCAM's D mesh has 576 = 2⁶·3² longitudes), so the
+//! planner combines:
+//!
+//! * an iterative, in-place radix-2 Cooley–Tukey transform for power-of-two
+//!   lengths, and
+//! * Bluestein's chirp-z algorithm (built on the radix-2 core) for every
+//!   other length.
+//!
+//! A [`FftPlan`] precomputes twiddle factors once and can be reused across
+//! many transforms of the same length — the usage pattern of both
+//! applications (many FFTs of one fixed length per timestep, vectorized
+//! *across* transforms on the vector machines, as §3.1 of the paper
+//! describes for the polar filters).
+
+use crate::complex::Complex64;
+
+/// Direction of the transform.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// e^{-2πi jk/n} convention.
+    Forward,
+    /// e^{+2πi jk/n} convention, scaled by 1/n in [`FftPlan::execute`].
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed transform length.
+#[derive(Clone, Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Twiddles for the radix-2 core (length of core transform).
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal permutation for the radix-2 core.
+    bitrev: Vec<u32>,
+    /// Bluestein machinery for non-power-of-two lengths.
+    bluestein: Option<Bluestein>,
+}
+
+#[derive(Clone, Debug)]
+struct Bluestein {
+    /// Padded power-of-two convolution length (≥ 2n-1).
+    m: usize,
+    /// Chirp `w_k = e^{-iπ k²/n}` for k in 0..n.
+    chirp: Vec<Complex64>,
+    /// Forward FFT (length m) of the zero-padded conjugate chirp.
+    kernel_hat: Vec<Complex64>,
+    /// Plan for the length-m power-of-two transforms.
+    inner: Box<FftPlan>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        if n.is_power_of_two() {
+            FftPlan {
+                n,
+                twiddles: make_twiddles(n),
+                bitrev: make_bitrev(n),
+                bluestein: None,
+            }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = Box::new(FftPlan::new(m));
+            // Chirp sequence w_k = exp(-i π k² / n). Computing k² mod 2n keeps
+            // the argument small so the phase stays accurate for large n.
+            let chirp: Vec<Complex64> = (0..n)
+                .map(|k| {
+                    let kk = ((k as u128 * k as u128) % (2 * n as u128)) as f64;
+                    Complex64::cis(-std::f64::consts::PI * kk / n as f64)
+                })
+                .collect();
+            // Convolution kernel b_k = conj(chirp)[|k|] padded to length m,
+            // wrapped so negative indices land at the tail.
+            let mut kernel = vec![Complex64::ZERO; m];
+            kernel[0] = chirp[0].conj();
+            for k in 1..n {
+                kernel[k] = chirp[k].conj();
+                kernel[m - k] = chirp[k].conj();
+            }
+            inner.execute(&mut kernel, Direction::Forward);
+            FftPlan {
+                n,
+                twiddles: Vec::new(),
+                bitrev: Vec::new(),
+                bluestein: Some(Bluestein { m, chirp, kernel_hat: kernel, inner }),
+            }
+        }
+    }
+
+    /// The transform length this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns true for the degenerate length-0 plan (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Executes the transform in place.
+    ///
+    /// The inverse transform is scaled by `1/n`, so
+    /// `execute(Forward)` followed by `execute(Inverse)` is the identity.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != self.len()`.
+    pub fn execute(&self, data: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "FFT buffer length mismatch");
+        match &self.bluestein {
+            None => {
+                self.radix2(data, dir);
+                if dir == Direction::Inverse {
+                    let s = 1.0 / self.n as f64;
+                    for z in data.iter_mut() {
+                        *z = z.scale(s);
+                    }
+                }
+            }
+            Some(b) => self.bluestein_execute(b, data, dir),
+        }
+    }
+
+    /// Executes `count` contiguous transforms stored back to back in `data`.
+    ///
+    /// This mirrors the "vectorize across FFTs" strategy the paper uses for
+    /// the FVCAM polar filters: the caller batches many independent lines.
+    pub fn execute_batch(&self, data: &mut [Complex64], count: usize, dir: Direction) {
+        assert_eq!(data.len(), self.n * count, "batch buffer length mismatch");
+        for chunk in data.chunks_exact_mut(self.n) {
+            self.execute(chunk, dir);
+        }
+    }
+
+    /// In-place iterative radix-2 Cooley–Tukey; `self.n` must be a power of 2.
+    fn radix2(&self, data: &mut [Complex64], dir: Direction) {
+        let n = data.len();
+        debug_assert!(n.is_power_of_two());
+        // Bit-reversal permutation.
+        for (i, &r) in self.bitrev.iter().enumerate() {
+            let r = r as usize;
+            if i < r {
+                data.swap(i, r);
+            }
+        }
+        // Butterfly passes. Twiddles are stored for the forward direction at
+        // maximum resolution; the inverse conjugates on the fly.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stride = n / len;
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let w = self.twiddles[k * stride];
+                    let w = if dir == Direction::Inverse { w.conj() } else { w };
+                    let lo = data[base + k];
+                    let hi = data[base + k + half] * w;
+                    data[base + k] = lo + hi;
+                    data[base + k + half] = lo - hi;
+                }
+                base += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    fn bluestein_execute(&self, b: &Bluestein, data: &mut [Complex64], dir: Direction) {
+        let n = self.n;
+        // x'_k = x_k * chirp_k  (conjugate chirp for the inverse transform).
+        let mut a = vec![Complex64::ZERO; b.m];
+        for k in 0..n {
+            let c = if dir == Direction::Forward { b.chirp[k] } else { b.chirp[k].conj() };
+            a[k] = data[k] * c;
+        }
+        // Convolve with the precomputed kernel via the power-of-two FFT.
+        b.inner.execute(&mut a, Direction::Forward);
+        match dir {
+            Direction::Forward => {
+                for (z, k) in a.iter_mut().zip(b.kernel_hat.iter()) {
+                    *z = *z * *k;
+                }
+            }
+            Direction::Inverse => {
+                // The inverse chirp kernel is the conjugate of the forward
+                // kernel's time series; in frequency space that is a
+                // conjugate + index reversal identity. Rather than store a
+                // second kernel we exploit conj(FFT(x)) = IFFT(conj(x))·m.
+                for (z, k) in a.iter_mut().zip(b.kernel_hat.iter()) {
+                    *z = (z.conj() * *k).conj();
+                }
+            }
+        }
+        b.inner.execute(&mut a, Direction::Inverse);
+        // y_k = chirp_k * conv_k, plus 1/n scaling for the inverse.
+        let scale = if dir == Direction::Inverse { 1.0 / n as f64 } else { 1.0 };
+        for k in 0..n {
+            let c = if dir == Direction::Forward { b.chirp[k] } else { b.chirp[k].conj() };
+            data[k] = (a[k] * c).scale(scale);
+        }
+    }
+
+    /// *Baseline* floating-point operation count of one execution:
+    /// `5 n log₂ n` for every length. This is the "valid baseline
+    /// flop-count" convention of the paper (§2.1) — rates are computed
+    /// from the canonical operation count of the algorithm, not from
+    /// whatever a particular implementation (here: Bluestein for
+    /// non-power-of-two lengths) happens to execute.
+    pub fn flops(&self) -> f64 {
+        5.0 * self.n as f64 * (self.n as f64).log2()
+    }
+
+    /// Operations the chosen algorithm actually executes (Bluestein pays
+    /// three padded power-of-two transforms plus the chirp multiplies).
+    pub fn flops_actual(&self) -> f64 {
+        match &self.bluestein {
+            None => 5.0 * self.n as f64 * (self.n as f64).log2(),
+            Some(b) => {
+                3.0 * 5.0 * b.m as f64 * (b.m as f64).log2() + 6.0 * 3.0 * self.n as f64
+            }
+        }
+    }
+}
+
+fn make_twiddles(n: usize) -> Vec<Complex64> {
+    let half = (n / 2).max(1);
+    (0..half)
+        .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .collect()
+}
+
+fn make_bitrev(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits.max(1)) as u32).collect()
+}
+
+/// Convenience one-shot forward transform (plans and executes).
+pub fn fft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).execute(data, Direction::Forward);
+}
+
+/// Convenience one-shot inverse transform (plans and executes).
+pub fn ifft(data: &mut [Complex64]) {
+    FftPlan::new(data.len()).execute(data, Direction::Inverse);
+}
+
+/// Naive O(n²) DFT used as the correctness oracle in tests.
+pub fn dft_reference(input: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let scale = match dir {
+        Direction::Forward => 1.0,
+        Direction::Inverse => 1.0 / n as f64,
+    };
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in input.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += x * Complex64::cis(theta);
+            }
+            acc.scale(scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    fn ramp(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn radix2_matches_reference() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 256] {
+            let input = ramp(n);
+            let mut out = input.clone();
+            fft(&mut out);
+            let want = dft_reference(&input, Direction::Forward);
+            assert!(max_err(&out, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bluestein_matches_reference() {
+        for &n in &[3usize, 5, 6, 7, 12, 27, 100, 360, 576] {
+            let input = ramp(n);
+            let mut out = input.clone();
+            fft(&mut out);
+            let want = dft_reference(&input, Direction::Forward);
+            assert!(max_err(&out, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for &n in &[8usize, 27, 576, 1024] {
+            let input = ramp(n);
+            let mut buf = input.clone();
+            let plan = FftPlan::new(n);
+            plan.execute(&mut buf, Direction::Forward);
+            plan.execute(&mut buf, Direction::Inverse);
+            assert!(max_err(&buf, &input) < 1e-10 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_reference() {
+        for &n in &[4usize, 9, 30] {
+            let input = ramp(n);
+            let mut out = input.clone();
+            ifft(&mut out);
+            let want = dft_reference(&input, Direction::Inverse);
+            assert!(max_err(&out, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut data = vec![Complex64::ZERO; 64];
+        data[0] = Complex64::ONE;
+        fft(&mut data);
+        for z in &data {
+            assert!((*z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 576;
+        let input = ramp(n);
+        let mut out = input.clone();
+        fft(&mut out);
+        let e_time: f64 = input.iter().map(|z| z.norm_sqr()).sum();
+        let e_freq: f64 = out.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((e_time - e_freq).abs() < 1e-8 * e_time);
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let n = 48;
+        let count = 7;
+        let plan = FftPlan::new(n);
+        let mut batch: Vec<Complex64> = (0..n * count)
+            .map(|i| Complex64::new(i as f64 * 0.01, (i as f64 * 0.02).sin()))
+            .collect();
+        let mut singles = batch.clone();
+        plan.execute_batch(&mut batch, count, Direction::Forward);
+        for chunk in singles.chunks_exact_mut(n) {
+            plan.execute(chunk, Direction::Forward);
+        }
+        assert!(max_err(&batch, &singles) == 0.0);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 96;
+        let a = ramp(n);
+        let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.3 * i as f64, -0.2)).collect();
+        let alpha = Complex64::new(1.5, -0.5);
+        let mut combo: Vec<Complex64> =
+            a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
+        fft(&mut combo);
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let want: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x * alpha + *y).collect();
+        assert!(max_err(&combo, &want) < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut data = vec![Complex64::ZERO; 7];
+        plan.execute(&mut data, Direction::Forward);
+    }
+}

@@ -1,0 +1,164 @@
+//! The D3Q27 streaming lattice.
+//!
+//! 27 velocities — the null vector plus the 26 neighbors of a cube — with
+//! the standard fourth-order-isotropic weights (8/27 for rest, 2/27 for
+//! faces, 1/54 for edges, 1/216 for corners) and sound speed c_s² = 1/3.
+
+/// Number of streaming directions (26 plus the null vector — paper §5).
+pub const Q: usize = 27;
+
+/// Lattice sound speed squared.
+pub const CS2: f64 = 1.0 / 3.0;
+
+/// The 27 lattice velocities. Index 0 is the rest particle; the rest are
+/// ordered faces, edges, corners.
+pub const C: [[i32; 3]; Q] = build_velocities();
+
+/// Quadrature weights matching [`C`]'s ordering.
+pub const W: [f64; Q] = build_weights();
+
+const fn build_velocities() -> [[i32; 3]; Q] {
+    // Enumerate (dx,dy,dz) ∈ {-1,0,1}³ sorted by |c|²: rest, faces (|c|²=1),
+    // edges (2), corners (3). Order is fixed and matched by OPPOSITE/W.
+    let mut out = [[0i32; 3]; Q];
+    let mut n = 1;
+    // faces
+    let mut pass = 1;
+    while pass <= 3 {
+        let mut dz = -1;
+        while dz <= 1 {
+            let mut dy = -1;
+            while dy <= 1 {
+                let mut dx = -1;
+                while dx <= 1 {
+                    let m = dx * dx + dy * dy + dz * dz;
+                    if m == pass {
+                        out[n] = [dx, dy, dz];
+                        n += 1;
+                    }
+                    dx += 1;
+                }
+                dy += 1;
+            }
+            dz += 1;
+        }
+        pass += 1;
+    }
+    out
+}
+
+const fn build_weights() -> [f64; Q] {
+    let mut w = [0.0f64; Q];
+    let c = build_velocities();
+    let mut i = 0;
+    while i < Q {
+        let m = c[i][0] * c[i][0] + c[i][1] * c[i][1] + c[i][2] * c[i][2];
+        w[i] = match m {
+            0 => 8.0 / 27.0,
+            1 => 2.0 / 27.0,
+            2 => 1.0 / 54.0,
+            3 => 1.0 / 216.0,
+            _ => 0.0,
+        };
+        i += 1;
+    }
+    w
+}
+
+/// Index of the direction opposite to `i` (−c_i).
+pub fn opposite(i: usize) -> usize {
+    let [x, y, z] = C[i];
+    C.iter().position(|&[a, b, c]| (a, b, c) == (-x, -y, -z)).expect("lattice is symmetric")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_27_unique_velocities() {
+        for i in 0..Q {
+            for j in i + 1..Q {
+                assert_ne!(C[i], C[j], "duplicate velocity at {i},{j}");
+            }
+        }
+        assert_eq!(C[0], [0, 0, 0]);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let s: f64 = W.iter().sum();
+        assert!((s - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn weights_by_shell() {
+        for i in 0..Q {
+            let m: i32 = C[i].iter().map(|&c| c * c).sum();
+            let want = match m {
+                0 => 8.0 / 27.0,
+                1 => 2.0 / 27.0,
+                2 => 1.0 / 54.0,
+                3 => 1.0 / 216.0,
+                _ => unreachable!(),
+            };
+            assert_eq!(W[i], want);
+        }
+    }
+
+    #[test]
+    fn first_moment_vanishes() {
+        // Σ w_i c_i = 0 (lattice isotropy, zeroth condition).
+        for a in 0..3 {
+            let s: f64 = (0..Q).map(|i| W[i] * C[i][a] as f64).sum();
+            assert!(s.abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn second_moment_is_cs2_identity() {
+        // Σ w_i c_ia c_ib = c_s² δ_ab.
+        for a in 0..3 {
+            for b in 0..3 {
+                let s: f64 = (0..Q).map(|i| W[i] * (C[i][a] * C[i][b]) as f64).sum();
+                let want = if a == b { CS2 } else { 0.0 };
+                assert!((s - want).abs() < 1e-15, "({a},{b}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn fourth_moment_isotropy() {
+        // Σ w_i c_ia c_ib c_ic c_id = c_s⁴ (δab δcd + δac δbd + δad δbc).
+        let delta = |a: usize, b: usize| if a == b { 1.0 } else { 0.0 };
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    for d in 0..3 {
+                        let s: f64 = (0..Q)
+                            .map(|i| {
+                                W[i] * (C[i][a] * C[i][b] * C[i][c] * C[i][d]) as f64
+                            })
+                            .sum();
+                        let want = CS2 * CS2
+                            * (delta(a, b) * delta(c, d)
+                                + delta(a, c) * delta(b, d)
+                                + delta(a, d) * delta(b, c));
+                        assert!((s - want).abs() < 1e-14, "({a},{b},{c},{d}): {s} vs {want}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn opposite_is_an_involution() {
+        for i in 0..Q {
+            let o = opposite(i);
+            assert_eq!(opposite(o), i);
+            for a in 0..3 {
+                assert_eq!(C[o][a], -C[i][a]);
+            }
+        }
+    }
+}

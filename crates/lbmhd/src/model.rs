@@ -1,0 +1,155 @@
+//! Analytic workload model for Table 5's configurations.
+//!
+//! Table 5 runs LBMHD3D at concurrencies of 16–2048 processors on grids of
+//! 256³–1024³ — far beyond what a thread-per-rank simulation can execute
+//! directly. This module computes the per-processor workload profile from
+//! the decomposition arithmetic; its counts are validated against the
+//! *instrumented real runs* at small scale (see the `model_matches_
+//! instrumented_run` test), which is what licenses the extrapolation.
+
+use hec_arch::{CommEvent, PhaseProfile, WorkloadProfile};
+
+use crate::collide::{BYTES_PER_POINT, CONCURRENT_STREAMS, FLOPS_PER_POINT};
+use crate::decomp::{local_extent, processor_grid};
+use crate::lattice::Q;
+
+/// Workload profile for one timestep of LBMHD3D on a `n³` global grid over
+/// `procs` ranks.
+pub fn workload(n: usize, procs: usize) -> WorkloadProfile {
+    let dims = processor_grid(procs);
+    // Rank 0 owns the largest block — the pacing rank.
+    let (lx, ly, lz) =
+        (local_extent(n, dims[0], 0), local_extent(n, dims[1], 0), local_extent(n, dims[2], 0));
+    let points = (lx * ly * lz) as f64;
+
+    let mut w = WorkloadProfile::new("LBMHD3D", procs);
+
+    let mut ph = PhaseProfile::new("fused collide+stream");
+    ph.flops = points * FLOPS_PER_POINT;
+    // The collision arithmetic is fully data-parallel (paper §5.1: "No
+    // additional vectorization effort was required due to the data-parallel
+    // nature of LBMHD"); the only scalar work is loop bookkeeping.
+    ph.vector_fraction = 0.994;
+    // The vectorized loop runs over the x extent of the local block.
+    ph.avg_vector_length = lx as f64;
+    ph.unit_stride_bytes = points * BYTES_PER_POINT;
+    // The 26 shifted reads are still unit-stride but not cache-reusable at
+    // these grid sizes.
+    ph.cacheable_fraction = 0.05;
+    ph.dense_fraction = 0.3; // long unrolled arithmetic blocks, few branches
+    ph.working_set_bytes = points * BYTES_PER_POINT / 2.0;
+    ph.concurrent_streams = CONCURRENT_STREAMS;
+    // The (j, k) line loops are the streaming axis for the MSP compiler.
+    ph.outer_parallelism = (ly * lz) as f64;
+    w.phases.push(ph);
+
+    // Halo exchange: six faces, each carrying all Q + 3Q distributions over
+    // a padded face (the 3-sweep corner-propagating exchange).
+    let face = |a: usize, b: usize| ((a + 2) * (b + 2)) as f64;
+    let per_axis_bytes = [
+        face(ly, lz) * (4 * Q) as f64 * 8.0,
+        face(lx, lz) * (4 * Q) as f64 * 8.0,
+        face(lx, ly) * (4 * Q) as f64 * 8.0,
+    ];
+    let axes_with_neighbors =
+        (0..3).filter(|&a| dims[a] > 1).map(|a| per_axis_bytes[a]).collect::<Vec<_>>();
+    if !axes_with_neighbors.is_empty() {
+        let avg = axes_with_neighbors.iter().sum::<f64>() / axes_with_neighbors.len() as f64;
+        w.comm.push(CommEvent::Halo {
+            bytes: avg,
+            neighbors: 2.0 * axes_with_neighbors.len() as f64,
+        });
+    }
+    w
+}
+
+/// Bytes a rank sends per step under the decomposition for (`n`, `procs`) —
+/// the analytic counterpart of `Simulation::halo_bytes_sent`.
+pub fn halo_bytes_per_step(n: usize, procs: usize) -> f64 {
+    let dims = processor_grid(procs);
+    let (lx, ly, lz) =
+        (local_extent(n, dims[0], 0), local_extent(n, dims[1], 0), local_extent(n, dims[2], 0));
+    let face = |a: usize, b: usize| ((a + 2) * (b + 2)) as f64;
+    let per_axis = [face(ly, lz), face(lx, lz), face(lx, ly)];
+    (0..3)
+        .filter(|&a| dims[a] > 1)
+        .map(|a| 2.0 * per_axis[a] * (4 * Q) as f64 * 8.0)
+        .sum()
+}
+
+/// The (concurrency, grid size) pairs of paper Table 5.
+pub const TABLE5_CONFIGS: [(usize, usize); 6] =
+    [(16, 256), (64, 256), (256, 512), (512, 512), (1024, 1024), (2048, 1024)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{SimParams, Simulation};
+
+    #[test]
+    fn model_matches_instrumented_run() {
+        // The analytic halo-byte count must equal what the real simulation
+        // actually sent through msim.
+        for procs in [2usize, 4, 8] {
+            let n = 8;
+            let sent = msim::run(procs, move |comm| {
+                let mut sim = Simulation::new(
+                    SimParams { n, ..Default::default() },
+                    comm.rank(),
+                    comm.size(),
+                );
+                sim.step(comm);
+                (sim.cart.coords, sim.halo_bytes_sent)
+            })
+            .unwrap();
+            // Compare rank 0 (the model's pacing rank).
+            let want = halo_bytes_per_step(n, procs);
+            assert_eq!(sent[0].1 as f64, want, "procs={procs}");
+        }
+    }
+
+    #[test]
+    fn model_flops_match_instrumented_run() {
+        let n = 8;
+        let procs = 4;
+        let flops = msim::run(procs, move |comm| {
+            let mut sim = Simulation::new(
+                SimParams { n, ..Default::default() },
+                comm.rank(),
+                comm.size(),
+            );
+            sim.step(comm);
+            sim.flops()
+        })
+        .unwrap();
+        let w = workload(n, procs);
+        assert_eq!(flops[0], w.phases[0].flops);
+    }
+
+    #[test]
+    fn weak_scaling_keeps_per_rank_work_flat() {
+        // Table 5 roughly doubles the grid with 8× the processors; the
+        // per-rank point count across its configs stays within a factor ~4.
+        let loads: Vec<f64> =
+            TABLE5_CONFIGS.iter().map(|&(p, n)| workload(n, p).phases[0].flops).collect();
+        let (mn, mx) =
+            loads.iter().fold((f64::MAX, 0.0f64), |(a, b), &x| (a.min(x), b.max(x)));
+        assert!(mx / mn < 8.0, "per-rank work varies too much: {loads:?}");
+    }
+
+    #[test]
+    fn vector_length_tracks_block_extent() {
+        let w = workload(256, 16);
+        // 16 ranks → grid [4,2,2] wait: processor_grid(16); local x extent.
+        assert!(w.phases[0].avg_vector_length >= 64.0);
+        let w2 = workload(256, 2048);
+        assert!(w2.phases[0].avg_vector_length < w.phases[0].avg_vector_length * 1.01);
+    }
+
+    #[test]
+    fn single_rank_has_no_network_events() {
+        let w = workload(64, 1);
+        assert!(w.comm.is_empty());
+        assert_eq!(halo_bytes_per_step(64, 1), 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! The plane-wave basis: a load-balanced sphere of G-vector columns.
+//!
+//! Fourier components with kinetic energy ½|G|² below the cutoff form a
+//! sphere of points on the FFT grid. PARATEC groups them into *columns*
+//! (fixed (gx, gy), all allowed gz) and distributes whole columns over
+//! processors so that every processor holds a similar number of points
+//! (paper §6: "The sphere is load balanced by distributing the different
+//! length columns from the sphere to different processors"). Whole columns
+//! matter because the first FFT stage is a 1D transform along gz of each
+//! column.
+
+/// One column of the G-sphere: fixed transverse indices, a contiguous run
+/// of gz values (stored wrapped to `0..nz`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Transverse index gx (wrapped to `0..nx`).
+    pub gx: usize,
+    /// Transverse index gy (wrapped to `0..ny`).
+    pub gy: usize,
+    /// The signed gz values in the sphere for this (gx, gy).
+    pub gz: Vec<i64>,
+}
+
+impl Column {
+    /// Points in this column.
+    pub fn len(&self) -> usize {
+        self.gz.len()
+    }
+
+    /// True for an empty column (never stored).
+    pub fn is_empty(&self) -> bool {
+        self.gz.is_empty()
+    }
+}
+
+/// The full basis description, identical on every rank.
+#[derive(Clone, Debug)]
+pub struct GSphere {
+    /// FFT grid extent in x.
+    pub nx: usize,
+    /// FFT grid extent in y.
+    pub ny: usize,
+    /// FFT grid extent in z.
+    pub nz: usize,
+    /// Kinetic-energy cutoff (½|G|² ≤ ecut, G in units of 2π/L).
+    pub ecut: f64,
+    /// All columns, sorted longest-first (the load-balancing order).
+    pub columns: Vec<Column>,
+    /// Total number of G-vectors.
+    pub ng: usize,
+}
+
+/// Signed frequency of wrapped index `i` on an `n`-point grid.
+pub fn signed_freq(i: usize, n: usize) -> i64 {
+    let h = n as i64 / 2;
+    let s = i as i64;
+    if s <= h {
+        s
+    } else {
+        s - n as i64
+    }
+}
+
+/// Wraps a signed frequency back to a grid index.
+pub fn wrap_freq(g: i64, n: usize) -> usize {
+    g.rem_euclid(n as i64) as usize
+}
+
+impl GSphere {
+    /// Builds the sphere for a cubic cell of unit reciprocal-lattice
+    /// spacing on an `nx × ny × nz` FFT grid.
+    pub fn build(nx: usize, ny: usize, nz: usize, ecut: f64) -> Self {
+        let mut columns = Vec::new();
+        let mut ng = 0;
+        for gx in 0..nx {
+            let fx = signed_freq(gx, nx) as f64;
+            for gy in 0..ny {
+                let fy = signed_freq(gy, ny) as f64;
+                let mut gz = Vec::new();
+                for z in 0..nz {
+                    let fz = signed_freq(z, nz) as f64;
+                    let ke = 0.5 * (fx * fx + fy * fy + fz * fz);
+                    if ke <= ecut {
+                        gz.push(signed_freq(z, nz));
+                    }
+                }
+                if !gz.is_empty() {
+                    ng += gz.len();
+                    columns.push(Column { gx, gy, gz });
+                }
+            }
+        }
+        // Longest-first: the greedy balance below then works well.
+        columns.sort_by(|a, b| b.len().cmp(&a.len()).then(a.gx.cmp(&b.gx)).then(a.gy.cmp(&b.gy)));
+        GSphere { nx, ny, nz, ecut, columns, ng }
+    }
+
+    /// Kinetic energy ½|G|² of the `k`-th point of column `c`.
+    pub fn kinetic(&self, c: &Column, k: usize) -> f64 {
+        let fx = signed_freq(c.gx, self.nx) as f64;
+        let fy = signed_freq(c.gy, self.ny) as f64;
+        let fz = c.gz[k] as f64;
+        0.5 * (fx * fx + fy * fy + fz * fz)
+    }
+
+    /// Greedy load balance: assigns columns (longest first) to the
+    /// currently lightest of `nprocs` bins. Returns, per processor, the
+    /// indices into [`GSphere::columns`].
+    pub fn balance(&self, nprocs: usize) -> Vec<Vec<usize>> {
+        let mut bins: Vec<Vec<usize>> = vec![Vec::new(); nprocs];
+        let mut load = vec![0usize; nprocs];
+        for (ci, col) in self.columns.iter().enumerate() {
+            let lightest = (0..nprocs).min_by_key(|&p| (load[p], p)).unwrap();
+            bins[lightest].push(ci);
+            load[lightest] += col.len();
+        }
+        bins
+    }
+
+    /// Number of local G-vectors under a balance assignment.
+    pub fn local_ng(&self, assignment: &[usize]) -> usize {
+        assignment.iter().map(|&ci| self.columns[ci].len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_freq_round_trips() {
+        for n in [8usize, 9, 16] {
+            for i in 0..n {
+                let f = signed_freq(i, n);
+                assert_eq!(wrap_freq(f, n), i, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_counts_match_brute_force() {
+        let (nx, ny, nz, ecut) = (12, 12, 12, 8.0);
+        let s = GSphere::build(nx, ny, nz, ecut);
+        let mut brute = 0;
+        for x in 0..nx {
+            for y in 0..ny {
+                for z in 0..nz {
+                    let (fx, fy, fz) = (
+                        signed_freq(x, nx) as f64,
+                        signed_freq(y, ny) as f64,
+                        signed_freq(z, nz) as f64,
+                    );
+                    if 0.5 * (fx * fx + fy * fy + fz * fz) <= ecut {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(s.ng, brute);
+        let col_total: usize = s.columns.iter().map(|c| c.len()).sum();
+        assert_eq!(col_total, s.ng);
+    }
+
+    #[test]
+    fn sphere_contains_origin_and_is_inversion_symmetric() {
+        let s = GSphere::build(10, 10, 10, 4.5);
+        let has = |gx: i64, gy: i64, gz: i64| {
+            s.columns.iter().any(|c| {
+                signed_freq(c.gx, s.nx) == gx
+                    && signed_freq(c.gy, s.ny) == gy
+                    && c.gz.contains(&gz)
+            })
+        };
+        assert!(has(0, 0, 0));
+        for (x, y, z) in [(1i64, 2i64, 0i64), (0, 1, 2), (2, 0, 1)] {
+            assert_eq!(has(x, y, z), has(-x, -y, -z), "inversion symmetry at ({x},{y},{z})");
+        }
+    }
+
+    #[test]
+    fn balance_is_even() {
+        let s = GSphere::build(16, 16, 16, 12.0);
+        for nprocs in [2usize, 3, 5, 8] {
+            let bins = s.balance(nprocs);
+            let loads: Vec<usize> = bins.iter().map(|b| s.local_ng(b)).collect();
+            let (mn, mx) =
+                (*loads.iter().min().unwrap() as f64, *loads.iter().max().unwrap() as f64);
+            assert!(
+                mx / mn.max(1.0) < 1.25,
+                "nprocs={nprocs}: imbalance {loads:?}"
+            );
+            // Every column assigned exactly once.
+            let total: usize = loads.iter().sum();
+            assert_eq!(total, s.ng);
+        }
+    }
+
+    #[test]
+    fn kinetic_energies_respect_cutoff() {
+        let s = GSphere::build(14, 14, 14, 9.0);
+        for c in &s.columns {
+            for k in 0..c.len() {
+                assert!(s.kinetic(c, k) <= 9.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_sorted_longest_first() {
+        let s = GSphere::build(16, 16, 16, 10.0);
+        for w in s.columns.windows(2) {
+            assert!(w[0].len() >= w[1].len());
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Reporting: aligned text tables, ASCII plots, and the paper's published
+//! numbers for comparison.
+//!
+//! * [`table`] — the fixed-width table renderer every experiment uses.
+//! * [`plot`] — ASCII line/bar plots for the figure reproductions.
+//! * [`paper`] — the published values of Tables 3–6 (Gflop/s per
+//!   processor) and helpers for shape comparisons (who wins, by what
+//!   factor) between our model's predictions and the paper.
+
+pub mod paper;
+pub mod plot;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,139 @@
+//! ASCII plots for the figure reproductions (Figures 3, 4, and 8).
+
+/// One line series: `(x, y)` points plus a single-character marker.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points; `None` y-values are skipped (unavailable configs).
+    pub points: Vec<(f64, Option<f64>)>,
+    /// Plot marker.
+    pub marker: char,
+}
+
+/// Renders an ASCII scatter/line chart of several series on shared axes.
+/// `log_y` plots log₁₀(y) (the paper's Figure 4 is log-log-ish).
+pub fn xy_chart(
+    title: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+    log_y: bool,
+) -> String {
+    let pts: Vec<(f64, f64, char)> = series
+        .iter()
+        .flat_map(|s| {
+            s.points
+                .iter()
+                .filter_map(move |&(x, y)| y.map(|y| (x, if log_y { y.log10() } else { y }, s.marker)))
+        })
+        .collect();
+    if pts.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y, _) in &pts {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for &(x, y, m) in &pts {
+        let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+        let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+        canvas[height - 1 - cy][cx] = m;
+    }
+    let mut out = format!("{title}\n");
+    let ylab = |v: f64| if log_y { format!("{:8.1}", 10f64.powf(v)) } else { format!("{v:8.2}") };
+    for (r, row) in canvas.iter().enumerate() {
+        let yv = y1 - (y1 - y0) * r as f64 / (height - 1) as f64;
+        out.push_str(&ylab(yv));
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(9));
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("{:>14.0}{:>width$.0}\n", x0, x1, width = width - 5));
+    for s in series {
+        out.push_str(&format!("  {} = {}\n", s.marker, s.label));
+    }
+    out
+}
+
+/// Renders a horizontal bar chart (Figure 8's per-application comparison).
+pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
+    let max = bars.iter().map(|b| b.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = bars.iter().map(|b| b.0.chars().count()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in bars {
+        let n = ((v / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {v:.2}\n",
+            "#".repeat(n),
+            label_w = label_w
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_markers_and_legend() {
+        let s = vec![
+            Series {
+                label: "ES".into(),
+                points: vec![(32.0, Some(1.0)), (64.0, Some(2.0))],
+                marker: 'e',
+            },
+            Series {
+                label: "Power3".into(),
+                points: vec![(32.0, Some(0.1)), (64.0, None)],
+                marker: 'p',
+            },
+        ];
+        let out = xy_chart("test", &s, 40, 10, false);
+        assert!(out.contains('e'));
+        assert!(out.contains('p'));
+        assert!(out.contains("ES"));
+        assert!(out.contains("Power3"));
+    }
+
+    #[test]
+    fn log_scale_compresses_decades() {
+        let s = vec![Series {
+            label: "x".into(),
+            points: vec![(1.0, Some(10.0)), (2.0, Some(1000.0))],
+            marker: '*',
+        }];
+        let out = xy_chart("log", &s, 30, 8, true);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_render_gracefully() {
+        let out = xy_chart("none", &[], 20, 5, false);
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let out = bar_chart("b", &[("a".into(), 1.0), ("bb".into(), 2.0)], 10);
+        let lines: Vec<&str> = out.lines().collect();
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[2]), 10);
+        assert_eq!(hashes(lines[1]), 5);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fixed-width text tables, right-aligned numeric cells — the format of
+//! the paper's Tables 1 and 3–6.
+
+/// A simple text table builder.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title printed above the header.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Body rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats a `Gflop/P` + `%peak` pair the way the paper's tables do,
+    /// or the em-dash for unavailable configurations.
+    pub fn perf_cell(gflops: Option<f64>, pct: Option<f64>) -> (String, String) {
+        match (gflops, pct) {
+            (Some(g), Some(p)) => (format!("{g:.2}"), format!("{p:.1}")),
+            _ => ("—".into(), "—".into()),
+        }
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&self.title);
+            out.push('\n');
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align numbers, left-align the first (label) column.
+                let pad = widths[c].saturating_sub(cell.chars().count());
+                if c == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["a".into(), "1.00".into()]);
+        t.push_row(vec!["long-name".into(), "123.45".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "Demo");
+        assert!(lines[1].contains("name") && lines[1].contains("value"));
+        // All body lines equal length (alignment).
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn perf_cell_formats_pairs_and_dashes() {
+        assert_eq!(Table::perf_cell(Some(1.234), Some(9.87)), ("1.23".into(), "9.9".into()));
+        assert_eq!(Table::perf_cell(None, None).0, "—");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,50 @@
+//! FVCAM decomposition study in miniature: the same atmosphere stepped
+//! under the 1D (latitude) and 2D (latitude × level) decompositions,
+//! verifying bitwise-identical physics and comparing the captured
+//! communication volumes — the paper's Figure 2 experiment.
+//!
+//! ```sh
+//! cargo run --release --example fvcam_decompositions
+//! ```
+
+fn main() {
+    let base = fvcam::FvParams { nlon: 72, nlat: 45, nlev: 8, pz: 1, courant: 0.4 };
+    let steps = 3;
+
+    let mut reference_mass = None;
+    for (label, pz, procs) in [("1D (8 bands)", 1usize, 8usize), ("2D (4 bands x 2 groups)", 2, 8)] {
+        let params = fvcam::FvParams { pz, ..base };
+        let (masses, traffic) = msim::run_with_traffic(procs, move |comm| {
+            let mut sim = fvcam::FvSim::new(params, comm.rank(), comm.size());
+            comm.barrier();
+            if comm.rank() == 0 {
+                comm.traffic().reset();
+            }
+            comm.barrier();
+            sim.run(comm, steps);
+            sim.global_mass(comm)
+        })
+        .expect("fvcam run failed");
+
+        let mass = masses[0];
+        let drift = match reference_mass {
+            None => {
+                reference_mass = Some(mass);
+                0.0
+            }
+            Some(r) => (mass - r as f64).abs(),
+        };
+        println!(
+            "{label:<24} total traffic {:>9.1} KB over {steps} steps, \
+             global tracer mass {mass:.9} (Δ vs 1D: {drift:.2e})",
+            traffic.total_bytes() as f64 / 1e3
+        );
+        println!("{}", traffic.ascii_heatmap());
+    }
+    println!(
+        "The 1D matrix is pure nearest-neighbor (the two diagonals of the\n\
+         paper's Figure 2a); the 2D matrix shows segmented diagonals plus\n\
+         the tilted transpose lines of Figure 2b, with lower total volume —\n\
+         the improved surface-to-volume ratio the paper measures."
+    );
+}

@@ -1,0 +1,65 @@
+//! Demonstrates the paper's GTC contribution: the particle decomposition
+//! that lifted GTC's concurrency past the 64-domain physics limit.
+//!
+//! The same plasma (same marker ensemble) is run with 4 toroidal domains ×
+//! {1, 2, 4} processes per domain; the charge grids agree to round-off and
+//! the extra `Allreduce` traffic of the decomposition is measured.
+//!
+//! ```sh
+//! cargo run --release --example gtc_decomposition
+//! ```
+
+fn main() {
+    let base = gtc::GtcParams {
+        ndomains: 4,
+        mzeta_total: 8,
+        particles_per_domain: 4000,
+        ..Default::default()
+    };
+
+    let mut reference_charge: Option<Vec<f64>> = None;
+    for npe in [1usize, 2, 4] {
+        let procs = base.ndomains * npe;
+        let (results, traffic) = msim::run_with_traffic(procs, move |world| {
+            let mut sim = gtc::GtcSim::new(base, world);
+            // Synchronized reset: drop setup traffic once every rank is ready.
+            world.barrier();
+            if world.rank() == 0 {
+                world.traffic().reset();
+            }
+            world.barrier();
+            sim.step(world);
+            // Domain 0's merged charge, flattened (replicated over npe).
+            if sim.domain == 0 && sim.sub_rank == 0 {
+                Some(sim.fields.charge.iter().flatten().copied().collect::<Vec<f64>>())
+            } else {
+                None
+            }
+        })
+        .expect("gtc run failed");
+
+        let charge = results.into_iter().flatten().next().expect("domain 0 charge");
+        let drift = match &reference_charge {
+            None => {
+                reference_charge = Some(charge);
+                0.0
+            }
+            Some(r) => r
+                .iter()
+                .zip(&charge)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max),
+        };
+        println!(
+            "npe = {npe}: {procs:>2} processes, step traffic {:>8.1} KB, \
+             max charge deviation vs npe=1: {drift:.2e}",
+            traffic.total_bytes() as f64 / 1e3,
+        );
+    }
+    println!(
+        "\nThe charge grid is identical under every particle decomposition\n\
+         (the merge Allreduce reconstructs the single-process deposition),\n\
+         while communication grows with npe — the trade the paper's new\n\
+         algorithm accepts to reach 2048-way concurrency (Table 4)."
+    );
+}

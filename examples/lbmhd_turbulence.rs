@@ -1,0 +1,55 @@
+//! Reproduces the physics behind the paper's Figure 6: an LBMHD3D run from
+//! well-defined vorticity tubes through the onset of turbulent structure,
+//! rendered as ASCII contours of the z-vorticity on an xy-plane.
+//!
+//! ```sh
+//! cargo run --release --example lbmhd_turbulence
+//! ```
+
+fn render(w: &[f64], nx: usize, ny: usize) -> String {
+    let max = w.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-30);
+    let glyphs = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let mut out = String::new();
+    for j in (0..ny).step_by(1) {
+        for i in 0..nx {
+            let t = (w[j * nx + i].abs() / max * 9.0).round() as usize;
+            let c = glyphs[t.min(9)];
+            // Sign shown by case-ish distinction: negative vorticity dotted.
+            out.push(if w[j * nx + i] < 0.0 && c != ' ' { '·' } else { c });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let n = 32;
+    let snapshots = msim::run(1, move |comm| {
+        let params = lbmhd::SimParams {
+            n,
+            omega: 1.9, // low viscosity: structures distort quickly
+            omega_m: 1.2,
+            amplitude: 0.08,
+        };
+        let mut sim = lbmhd::Simulation::new(params, comm.rank(), comm.size());
+        let mut shots = Vec::new();
+        for &t in &[0usize, 40, 160] {
+            while sim.points_updated / (n as u64).pow(3) < t as u64 {
+                sim.step(comm);
+            }
+            shots.push((t, sim.vorticity_z_plane(n / 2), sim.diagnostics(comm)));
+        }
+        shots
+    })
+    .expect("run failed");
+
+    for (t, plane, d) in &snapshots[0] {
+        println!("t = {t}: kinetic energy {:.4e}, magnetic energy {:.4e}", d.kinetic_energy, d.magnetic_energy);
+        println!("{}", render(plane, n, n));
+    }
+    println!(
+        "Early frames show the well-defined vortex tubes of the initial\n\
+         condition; later frames show them distorted toward turbulence —\n\
+         the evolution contoured in the paper's Figure 6."
+    );
+}

@@ -1,0 +1,47 @@
+//! PARATEC mini-app: converge Kohn–Sham-like bands for a periodic
+//! potential well over the distributed plane-wave machinery — distributed
+//! 3D FFTs (with their all-to-all transposes), ZGEMM projectors, and the
+//! all-band minimizer.
+//!
+//! ```sh
+//! cargo run --release --example paratec_bands
+//! ```
+
+use paratec::basis::GSphere;
+use paratec::fftdist::DistFft;
+use paratec::hamiltonian::Hamiltonian;
+use paratec::solver::{initial_guess, minimize};
+
+fn main() {
+    let nbands = 4;
+    let procs = 4;
+    let results = msim::run_with_traffic(procs, move |comm| {
+        let sphere = GSphere::build(12, 12, 12, 6.0);
+        let fft = DistFft::new(sphere, comm.rank(), comm.size());
+        let mut h = Hamiltonian::model(fft, 2, 2.0);
+        let ng = h.ng();
+        let mut psi = initial_guess(ng, nbands, comm.rank());
+        let stats = minimize(comm, &mut h, &mut psi, nbands, 80, 0.5);
+        (stats, h.fft.transpose_bytes, h.gemm_flops, h.fft.fft_flops)
+    })
+    .expect("run failed");
+    let (traffic,) = (results.1,);
+    let (stats, tbytes, gemm, fftf) = &results.0[0];
+
+    println!("basis: G-sphere on a 12^3 grid, cutoff 6.0 (ng per rank varies)");
+    println!("energy trajectory (sum of Rayleigh quotients):");
+    for (i, e) in stats.energy_history.iter().enumerate().step_by(10) {
+        println!("  iter {i:>3}: {e:+.6}");
+    }
+    println!("final band energies: {:?}", stats.band_energies);
+    println!();
+    println!("rank 0 instrumentation over the whole minimization:");
+    println!("  FFT-stage flops:      {fftf:.3e}");
+    println!("  ZGEMM flops:          {gemm:.3e}");
+    println!("  transpose bytes sent: {tbytes}");
+    println!("  total pt2pt traffic:  {:.1} KB", traffic.total_bytes() as f64 / 1e3);
+    println!(
+        "\nThe transposes inside every distributed FFT are the all-to-alls\n\
+         whose cost caps PARATEC's scaling in the paper's Table 6."
+    );
+}

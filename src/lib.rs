@@ -1,0 +1,23 @@
+//! hec-suite — umbrella crate for the SC'05 "Leading Computational
+//! Methods on Scalar and Vector HEC Platforms" reproduction.
+//!
+//! Re-exports the whole workspace so examples and integration tests can
+//! reach every layer:
+//!
+//! * applications: [`lbmhd`], [`gtc`], [`paratec`], [`fvcam`];
+//! * substrates: [`msim`] (simulated MPI), [`kernels`] (FFT/BLAS/solvers),
+//!   [`hec_net`] + [`hec_arch`] (interconnect and processor models);
+//! * reporting: [`report`].
+//!
+//! Start with `examples/quickstart.rs`, or regenerate the paper with
+//! `cargo run --release -p bench --bin repro all`.
+
+pub use fvcam;
+pub use gtc;
+pub use hec_arch;
+pub use hec_net;
+pub use kernels;
+pub use lbmhd;
+pub use msim;
+pub use paratec;
+pub use report;

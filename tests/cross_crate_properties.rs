@@ -1,0 +1,154 @@
+//! Cross-crate property tests: invariants that span the runtime, the
+//! kernels, and the applications, checked over randomized inputs.
+
+use kernels::fft::{dft_reference, Direction, FftPlan};
+use kernels::Complex64;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FFT of arbitrary length (1–200) matches the O(n²) DFT.
+    #[test]
+    fn fft_matches_dft_for_arbitrary_lengths(
+        n in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let input: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 1.0) * (seed as f64 + 1.0) * 0.013;
+                Complex64::new(t.sin(), (t * 1.7).cos())
+            })
+            .collect();
+        let mut out = input.clone();
+        FftPlan::new(n).execute(&mut out, Direction::Forward);
+        let want = dft_reference(&input, Direction::Forward);
+        for (a, b) in out.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-7 * (n as f64), "n={n}");
+        }
+    }
+
+    /// Allreduce over any rank count and payload equals the sequential fold.
+    #[test]
+    fn allreduce_equals_sequential_fold(
+        procs in 1usize..9,
+        len in 1usize..20,
+        seed in 0u64..100,
+    ) {
+        let outs = msim::run(procs, move |comm| {
+            let mut v: Vec<f64> = (0..len)
+                .map(|i| ((comm.rank() * 31 + i * 7 + seed as usize) % 17) as f64)
+                .collect();
+            comm.allreduce_f64(msim::ReduceOp::Sum, &mut v);
+            v
+        })
+        .unwrap();
+        let want: Vec<f64> = (0..len)
+            .map(|i| {
+                (0..procs)
+                    .map(|r| ((r * 31 + i * 7 + seed as usize) % 17) as f64)
+                    .sum()
+            })
+            .collect();
+        for out in outs {
+            prop_assert_eq!(&out, &want);
+        }
+    }
+
+    /// The vertical remap conserves column mass for arbitrary monotone
+    /// destination edges.
+    #[test]
+    fn remap_conserves_mass_for_random_edges(
+        splits in proptest::collection::vec(0.05f64..1.0, 2..12),
+        values in proptest::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        // Build a monotone destination edge set on [0, 1].
+        let total: f64 = splits.iter().sum();
+        let mut dst = vec![0.0];
+        let mut acc = 0.0;
+        for s in &splits {
+            acc += s / total;
+            dst.push(acc.min(1.0));
+        }
+        *dst.last_mut().unwrap() = 1.0;
+        // Degenerate zero-width intervals are rejected by the kernel; keep
+        // them strictly increasing.
+        for k in 1..dst.len() {
+            if dst[k] <= dst[k - 1] {
+                dst[k] = dst[k - 1] + 1e-9;
+            }
+        }
+        let n = dst.len() - 1;
+        if dst[n] <= dst[n - 1] { return Ok(()); }
+
+        let src: Vec<f64> = (0..=6).map(|k| k as f64 / 6.0).collect();
+        let out = fvcam::vertical::remap_column(&src, &values, &dst);
+        let m_in = fvcam::vertical::column_mass(&src, &values);
+        let m_out = fvcam::vertical::column_mass(&dst, &out);
+        prop_assert!((m_in - m_out).abs() < 1e-9, "{m_in} vs {m_out}");
+    }
+
+    /// LBMHD equilibrium moments are exact for arbitrary physical states.
+    #[test]
+    fn lbmhd_equilibrium_moments_exact(
+        rho in 0.5f64..2.0,
+        ux in -0.1f64..0.1,
+        uy in -0.1f64..0.1,
+        uz in -0.1f64..0.1,
+        bx in -0.2f64..0.2,
+        by in -0.2f64..0.2,
+        bz in -0.2f64..0.2,
+    ) {
+        let (feq, geq) = lbmhd::collide::equilibrium(rho, [ux, uy, uz], [bx, by, bz]);
+        let s: f64 = feq.iter().sum();
+        prop_assert!((s - rho).abs() < 1e-12);
+        for a in 0..3 {
+            let b: f64 = geq.iter().map(|g| g[a]).sum();
+            let want = [bx, by, bz][a];
+            prop_assert!((b - want).abs() < 1e-12);
+        }
+    }
+
+    /// GTC deposition conserves charge for arbitrary ensembles.
+    #[test]
+    fn gtc_deposition_conserves_charge(seed in 0u64..500, count in 10usize..200) {
+        let grid = gtc::geometry::PoloidalGrid {
+            mpsi: 10,
+            mtheta: 16,
+            r_inner: 0.1,
+            r_outer: 0.9,
+        };
+        let parts = gtc::particles::load_uniform(count, 0.15, 0.85, 0.0, 1.0, seed);
+        let mut charge: Vec<Vec<f64>> = (0..=3).map(|_| vec![0.0; grid.len()]).collect();
+        gtc::deposit::deposit(&grid, &parts, &mut charge, 0.0, 1.0 / 3.0);
+        let total: f64 = charge.iter().flatten().sum();
+        prop_assert!((total - parts.total_weight()).abs() < 1e-9 * parts.total_weight());
+    }
+
+    /// The performance model is monotone in peak rate: scaling a platform's
+    /// peak up never slows a compute-bound workload down.
+    #[test]
+    fn model_is_monotone_in_peak(scale in 1.0f64..4.0) {
+        let w = lbmhd::model::workload(64, 16);
+        let base = hec_arch::Platform::get(hec_arch::PlatformId::Es);
+        let mut faster = base;
+        faster.peak_gflops *= scale;
+        faster.stream_bw_gbps *= scale;
+        let g0 = hec_arch::predict(&base, &w).gflops_per_proc;
+        let g1 = hec_arch::predict(&faster, &w).gflops_per_proc;
+        prop_assert!(g1 >= g0 * 0.999);
+    }
+}
+
+/// The sphere basis is inversion-symmetric and the balance covers it for
+/// arbitrary processor counts (plain test with a loop: cheaper than a
+/// proptest for this size).
+#[test]
+fn gsphere_balance_covers_for_many_proc_counts() {
+    let s = paratec::basis::GSphere::build(10, 10, 10, 6.0);
+    for nprocs in 1..=12 {
+        let bins = s.balance(nprocs);
+        let total: usize = bins.iter().map(|b| s.local_ng(b)).sum();
+        assert_eq!(total, s.ng, "nprocs={nprocs}");
+    }
+}
