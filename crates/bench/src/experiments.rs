@@ -31,11 +31,7 @@ pub struct Row {
 
 fn eval(platform: &Platform, w: &WorkloadProfile) -> Cell {
     let p = predict(platform, w);
-    Cell {
-        gflops: p.gflops_per_proc,
-        pct_peak: p.percent_of_peak,
-        step_secs: p.breakdown.total(),
-    }
+    Cell { gflops: p.gflops_per_proc, pct_peak: p.percent_of_peak, step_secs: p.breakdown.total() }
 }
 
 /// Evaluates a workload on the X1 in "aggregate 4-SSP" mode, the way
@@ -87,9 +83,8 @@ pub fn fvcam_rows() -> Vec<Row> {
     use fvcam::model::{table3_configs, workload, FvConfig};
     let mut rows = Vec::new();
     for base in table3_configs(1) {
-        let mk = |threads: usize| -> Option<WorkloadProfile> {
-            workload(FvConfig { threads, ..base })
-        };
+        let mk =
+            |threads: usize| -> Option<WorkloadProfile> { workload(FvConfig { threads, ..base }) };
         let w1 = mk(1);
         let w4 = mk(4);
         // Prefer pure MPI; fall back to 4 threads where MPI alone is
@@ -198,10 +193,7 @@ pub struct Fig8App {
 pub fn fig8_apps() -> Vec<Fig8App> {
     let pick = |rows: &[Row], label_filter: Option<&str>| -> [Option<Cell>; 7] {
         rows.iter()
-            .find(|r| {
-                r.procs == 256
-                    && label_filter.map(|f| r.label.contains(f)).unwrap_or(true)
-            })
+            .find(|r| r.procs == 256 && label_filter.map(|f| r.label.contains(f)).unwrap_or(true))
             .map(|r| r.cells.clone())
             .unwrap_or([None; 7])
     };

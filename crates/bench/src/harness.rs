@@ -1,0 +1,403 @@
+//! Dependency-free benchmark harness (replaces the former criterion
+//! benches).
+//!
+//! Each case runs `WARMUP` untimed iterations and then `iters` timed ones;
+//! we report the median and minimum wall time plus a derived throughput.
+//! Medians are robust to the occasional scheduler hiccup, minima estimate
+//! the noise floor. Results are printed as a table and written to
+//! `BENCH_kernels.json` / `BENCH_apps.json` so successive runs can be
+//! diffed.
+//!
+//! Invoke as `repro harness [iters]` (default 11 timed iterations).
+
+use std::time::Instant;
+
+use hec_core::json::{Json, ToJson};
+
+/// Untimed iterations before measurement starts.
+pub const WARMUP: usize = 3;
+
+/// Default number of timed iterations.
+pub const DEFAULT_ITERS: usize = 11;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// `group/name` identifier, e.g. `"stream/triad_65536"`.
+    pub name: String,
+    /// Timed iterations contributing to the statistics.
+    pub iters: usize,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum wall time per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Work items (elements, flops, bytes…) per iteration, for throughput.
+    pub units: f64,
+    /// What `units` counts, e.g. `"bytes"` or `"flops"`.
+    pub unit_label: &'static str,
+}
+
+impl Sample {
+    /// Units per second at the median time.
+    pub fn throughput(&self) -> f64 {
+        if self.median_ns > 0.0 {
+            self.units * 1e9 / self.median_ns
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+impl ToJson for Sample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("iters", Json::Num(self.iters as f64)),
+            ("median_ns", Json::Num(self.median_ns)),
+            ("min_ns", Json::Num(self.min_ns)),
+            ("units", Json::Num(self.units)),
+            ("unit_label", Json::Str(self.unit_label.to_string())),
+            ("throughput_per_sec", Json::Num(self.throughput())),
+        ])
+    }
+}
+
+/// Times `f` for `WARMUP + iters` calls and folds the timed ones into a
+/// [`Sample`].
+pub fn measure<F: FnMut()>(
+    name: &str,
+    iters: usize,
+    units: f64,
+    unit_label: &'static str,
+    mut f: F,
+) -> Sample {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut times: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_nanos() as u64);
+    }
+    times.sort_unstable();
+    let median = if times.len() % 2 == 1 {
+        times[times.len() / 2] as f64
+    } else {
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) as f64 / 2.0
+    };
+    Sample {
+        name: name.to_string(),
+        iters: times.len(),
+        median_ns: median,
+        min_ns: times[0] as f64,
+        units,
+        unit_label,
+    }
+}
+
+fn humanize_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn humanize_rate(per_sec: f64, label: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2} G{label}/s", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2} M{label}/s", per_sec / 1e6)
+    } else {
+        format!("{:.2} k{label}/s", per_sec / 1e3)
+    }
+}
+
+fn print_samples(title: &str, samples: &[Sample]) {
+    println!("== {title} ==");
+    let width = samples.iter().map(|s| s.name.len()).max().unwrap_or(0).max(4);
+    for s in samples {
+        println!(
+            "  {:<width$}  median {:>10}  min {:>10}  {}",
+            s.name,
+            humanize_time(s.median_ns),
+            humanize_time(s.min_ns),
+            humanize_rate(s.throughput(), s.unit_label),
+        );
+    }
+}
+
+fn write_json(path: &str, samples: &[Sample]) {
+    let doc = Json::obj([
+        ("harness", Json::Str("repro harness".into())),
+        ("warmup", Json::Num(WARMUP as f64)),
+        ("samples", Json::Arr(samples.iter().map(|s| s.to_json()).collect())),
+    ]);
+    match std::fs::write(path, doc.emit_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+/// Microkernel cases (STREAM triad, FFT, GEMM) — the former
+/// `kernels_bench`.
+pub fn kernel_samples(iters: usize) -> Vec<Sample> {
+    use kernels::blas::{dgemm, zgemm, Trans};
+    use kernels::fft::{Direction, FftPlan};
+    use kernels::stream::triad;
+    use kernels::Complex64;
+
+    let mut out = Vec::new();
+
+    for &n in &[1usize << 12, 1 << 16, 1 << 20] {
+        let b = vec![1.0f64; n];
+        let c = vec![2.0f64; n];
+        let mut a = vec![0.0f64; n];
+        out.push(measure(&format!("stream/triad_{n}"), iters, (n * 24) as f64, "B", || {
+            triad(std::hint::black_box(&mut a), &b, &c, 3.0)
+        }));
+    }
+
+    // Power of two (radix-2) and the FVCAM longitude length (Bluestein).
+    for &n in &[256usize, 576, 1024] {
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex64> =
+            (0..n).map(|i| Complex64::new((i as f64).sin(), 0.1)).collect();
+        out.push(measure(&format!("fft/forward_{n}"), iters, n as f64, "elem", || {
+            plan.execute(std::hint::black_box(&mut data), Direction::Forward)
+        }));
+    }
+
+    for &n in &[64usize, 128] {
+        let a = vec![1.5f64; n * n];
+        let b = vec![0.5f64; n * n];
+        let mut o = vec![0.0f64; n * n];
+        out.push(measure(
+            &format!("gemm/dgemm_{n}"),
+            iters,
+            (2 * n * n * n) as f64,
+            "flop",
+            || dgemm(n, n, n, 1.0, &a, &b, 0.0, std::hint::black_box(&mut o)),
+        ));
+        let az = vec![Complex64::new(1.0, 0.5); n * n];
+        let bz = vec![Complex64::new(0.5, -0.25); n * n];
+        let mut oz = vec![Complex64::ZERO; n * n];
+        out.push(measure(
+            &format!("gemm/zgemm_{n}"),
+            iters,
+            (8 * n * n * n) as f64,
+            "flop",
+            || {
+                zgemm(
+                    Trans::None,
+                    n,
+                    n,
+                    n,
+                    Complex64::ONE,
+                    &az,
+                    &bz,
+                    Complex64::ZERO,
+                    std::hint::black_box(&mut oz),
+                )
+            },
+        ));
+    }
+
+    out
+}
+
+/// Application hot-loop cases — the former `apps_bench`.
+pub fn app_samples(iters: usize) -> Vec<Sample> {
+    let mut out = Vec::new();
+
+    {
+        use lbmhd::collide::{step, FLOPS_PER_POINT};
+        use lbmhd::state::{set_equilibrium, Block, Moments};
+        let n = 24;
+        let mut src = Block::zeros(n, n, n);
+        set_equilibrium(&mut src, |i, j, k| Moments {
+            rho: 1.0 + 0.01 * ((i + j + k) as f64).sin(),
+            mom: [0.01, -0.005, 0.002],
+            b: [0.02, 0.01, -0.01],
+        });
+        let mut dst = Block::zeros(n, n, n);
+        out.push(measure(
+            "lbmhd/collide_stream_24cubed",
+            iters,
+            (n * n * n) as f64 * FLOPS_PER_POINT,
+            "flop",
+            || {
+                step(std::hint::black_box(&src), &mut dst, 1.6, 1.2);
+            },
+        ));
+    }
+
+    {
+        use gtc::deposit::deposit;
+        use gtc::geometry::PoloidalGrid;
+        use gtc::particles::load_uniform;
+        use gtc::push::{gather, push};
+        let grid = PoloidalGrid { mpsi: 32, mtheta: 64, r_inner: 0.1, r_outer: 0.9 };
+        let parts = load_uniform(50_000, 0.15, 0.85, 0.0, 1.0, 7);
+        let mut charge: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.0; grid.len()]).collect();
+        let e: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.1; grid.len()]).collect();
+        out.push(measure("gtc/deposit_50k", iters, parts.len() as f64, "particle", || {
+            for plane in charge.iter_mut() {
+                plane.iter_mut().for_each(|v| *v = 0.0);
+            }
+            deposit(&grid, std::hint::black_box(&parts), &mut charge, 0.0, 0.5);
+        }));
+        let mut p = parts.clone();
+        out.push(measure("gtc/gather_push_50k", iters, parts.len() as f64, "particle", || {
+            let f = gather(&grid, &p, &e, &e, 0.0, 0.5);
+            push(&grid, std::hint::black_box(&mut p), &f, 1e-4);
+        }));
+    }
+
+    {
+        use fvcam::advect::{advect_level, FLOPS_PER_CELL};
+        use fvcam::grid::{LevelBlock, SphereGrid};
+        use fvcam::polar::PolarFilter;
+        let grid = SphereGrid::new(144, 91, 1);
+        let mut q = LevelBlock::zeros(144, 91, 2);
+        let mut cx = LevelBlock::zeros(144, 91, 2);
+        let cy = LevelBlock::zeros(144, 91, 2);
+        for j in 0..91 {
+            for i in 0..144 {
+                *q.get_mut(j as isize, i) = ((i + j) as f64 * 0.1).sin();
+                *cx.get_mut(j as isize, i) = 0.3;
+            }
+        }
+        out.push(measure(
+            "fvcam/advect_level_144x91",
+            iters,
+            144.0 * 91.0 * FLOPS_PER_CELL,
+            "flop",
+            || {
+                advect_level(&grid, std::hint::black_box(&mut q), &cx, &cy, 0);
+            },
+        ));
+        let mut filter = PolarFilter::new(144);
+        out.push(measure("fvcam/polar_filter_144x91", iters, 144.0 * 91.0, "cell", || {
+            filter.apply(&grid, std::hint::black_box(&mut q), 0);
+        }));
+    }
+
+    {
+        use kernels::fft3d::{fft3, Grid3};
+        use kernels::Complex64;
+        let mut grid = Grid3::zeros(32, 32, 32);
+        for (i, v) in grid.data.iter_mut().enumerate() {
+            *v = Complex64::new((i as f64 * 0.01).sin(), 0.0);
+        }
+        out.push(measure("paratec/fft3_32cubed", iters, (32 * 32 * 32) as f64, "elem", || {
+            fft3(std::hint::black_box(&mut grid))
+        }));
+    }
+
+    out
+}
+
+/// Full table-regeneration timings — the former `tables_bench`. These are
+/// slow (entire pipelines), so they run fewer iterations.
+pub fn table_samples(iters: usize) -> Vec<Sample> {
+    use crate::experiments;
+    let iters = iters.min(5);
+    let mut out = vec![
+        measure("tables/table3_fvcam", iters, 1.0, "table", || {
+            std::hint::black_box(experiments::fvcam_rows());
+        }),
+        measure("tables/table4_gtc", iters, 1.0, "table", || {
+            std::hint::black_box(experiments::gtc_rows());
+        }),
+        measure("tables/table5_lbmhd", iters, 1.0, "table", || {
+            std::hint::black_box(experiments::lbmhd_rows());
+        }),
+        measure("tables/table6_paratec", iters, 1.0, "table", || {
+            std::hint::black_box(experiments::paratec_rows());
+        }),
+        measure("tables/fig8_summary", iters, 1.0, "table", || {
+            std::hint::black_box(experiments::fig8_apps());
+        }),
+    ];
+    // Reduced mesh: the full D-mesh capture is exercised by `repro fig2`.
+    out.push(measure("fig2/fvcam_traffic_capture_1d", iters, 1.0, "capture", || {
+        std::hint::black_box(experiments::fig2_traffic(1, 16));
+    }));
+    out.push(measure("fig2/fvcam_traffic_capture_2d", iters, 1.0, "capture", || {
+        std::hint::black_box(experiments::fig2_traffic(4, 16));
+    }));
+    out
+}
+
+/// Runs the whole suite and writes `BENCH_kernels.json` / `BENCH_apps.json`
+/// in the current directory.
+pub fn run(iters: usize) {
+    println!("harness: {WARMUP} warmup + {iters} timed iterations per case\n");
+
+    let kernels = kernel_samples(iters);
+    print_samples("microkernels", &kernels);
+    println!();
+
+    let mut apps = app_samples(iters);
+    print_samples("application kernels", &apps);
+    println!();
+
+    let tables = table_samples(iters);
+    print_samples("table regeneration", &tables);
+    println!();
+
+    write_json("BENCH_kernels.json", &kernels);
+    apps.extend(tables);
+    write_json("BENCH_apps.json", &apps);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_ordered_statistics() {
+        let mut x = 0u64;
+        let s = measure("t", 7, 10.0, "op", || {
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+        });
+        std::hint::black_box(x);
+        assert_eq!(s.iters, 7);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.min_ns > 0.0);
+        assert!(s.throughput() > 0.0);
+    }
+
+    #[test]
+    fn sample_json_has_all_fields() {
+        let s = Sample {
+            name: "g/case".into(),
+            iters: 5,
+            median_ns: 200.0,
+            min_ns: 100.0,
+            units: 10.0,
+            unit_label: "elem",
+        };
+        let j = s.to_json();
+        assert_eq!(j.str_field("name").unwrap(), "g/case");
+        assert_eq!(j.num_field("median_ns").unwrap(), 200.0);
+        assert_eq!(j.num_field("throughput_per_sec").unwrap(), 10.0 * 1e9 / 200.0);
+    }
+
+    #[test]
+    fn kernel_suite_runs_quickly_with_one_iteration() {
+        let samples = kernel_samples(1);
+        assert_eq!(samples.len(), 10);
+        for s in &samples {
+            assert!(s.median_ns >= 0.0, "{}", s.name);
+        }
+    }
+}

@@ -8,7 +8,10 @@
 //! * [`validate`] — side-by-side shape comparison against the published
 //!   numbers (`report::paper`), used both by `repro validate` and the
 //!   integration tests.
+//! * [`harness`] — dependency-free micro/app benchmark timing
+//!   (`repro harness`).
 
 pub mod experiments;
+pub mod harness;
 pub mod render;
 pub mod validate;

@@ -1,9 +1,12 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|all]`
+//! Usage:
+//! `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|all]`
 //!
 //! `fig2` accepts an optional mesh divisor (default 4; 1 = the full D
-//! mesh, slower). `all` prints everything except `validate`.
+//! mesh, slower). `harness` accepts an optional timed-iteration count
+//! (default 11) and writes `BENCH_kernels.json` / `BENCH_apps.json`.
+//! `all` prints everything except `validate` and `harness`.
 
 use bench::{experiments, render, validate};
 use report::paper;
@@ -15,8 +18,7 @@ fn main() {
         "table1" => print!("{}", render::table1().render()),
         "table2" => table2(),
         "fig2" => {
-            let scale: usize =
-                args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+            let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
             fig2(scale);
         }
         "table3" => table3(),
@@ -62,6 +64,11 @@ fn main() {
             print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS))
         }
         "validate" => validate_all(),
+        "harness" => {
+            let iters: usize =
+                args.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::harness::DEFAULT_ITERS);
+            bench::harness::run(iters.max(1));
+        }
         "all" => {
             print!("{}", render::table1().render());
             println!();
@@ -94,7 +101,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|all"
+                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|all"
             );
             std::process::exit(2);
         }

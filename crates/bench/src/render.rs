@@ -128,13 +128,7 @@ pub fn fig3(rows: &[Row], platforms: &[&str; 7]) -> String {
             marker: markers[ci],
         })
         .collect();
-    xy_chart(
-        "Figure 3: FVCAM percentage of peak vs processors (D mesh)",
-        &series,
-        64,
-        18,
-        false,
-    )
+    xy_chart("Figure 3: FVCAM percentage of peak vs processors (D mesh)", &series, 64, 18, false)
 }
 
 /// Figure 4: simulated days per wall-clock day vs processor count.
@@ -160,13 +154,7 @@ pub fn fig4(rows: &[Row], platforms: &[&str; 7], steps_per_day: f64) -> String {
             marker: markers[ci],
         })
         .collect();
-    xy_chart(
-        "Figure 4: FVCAM simulated days per wall-clock day (D mesh)",
-        &series,
-        64,
-        18,
-        true,
-    )
+    xy_chart("Figure 4: FVCAM simulated days per wall-clock day (D mesh)", &series, 64, 18, true)
 }
 
 /// Figure 8: 256-processor summary — % of peak and speed relative to ES,

@@ -33,11 +33,11 @@ pub fn compare(ours: &[Row], paper: &[PaperRow]) -> Shape {
     for p in paper {
         // Match on processor count and label when the paper row has one.
         let m = ours.iter().find(|r| {
-            r.procs == p.procs && (p.label.is_empty() || r.label.contains(&p.label) || p.label.contains(&r.label))
+            r.procs == p.procs
+                && (p.label.is_empty() || r.label.contains(&p.label) || p.label.contains(&r.label))
         });
         let Some(m) = m else { continue };
-        let our_g: Vec<Option<f64>> =
-            m.cells.iter().map(|c| c.map(|c| c.gflops)).collect();
+        let our_g: Vec<Option<f64>> = m.cells.iter().map(|c| c.map(|c| c.gflops)).collect();
         ord_sum += ordering_agreement(&our_g, &p.gflops);
         ratio_sum += typical_ratio(&our_g, &p.gflops).ln();
         n += 1;
@@ -45,11 +45,7 @@ pub fn compare(ours: &[Row], paper: &[PaperRow]) -> Shape {
     if n == 0 {
         return Shape { ordering: 0.0, factor: f64::INFINITY, rows: 0 };
     }
-    Shape {
-        ordering: ord_sum / n as f64,
-        factor: (ratio_sum / n as f64).exp(),
-        rows: n,
-    }
+    Shape { ordering: ord_sum / n as f64, factor: (ratio_sum / n as f64).exp(), rows: n }
 }
 
 /// Renders a side-by-side `ours vs paper` diff for calibration work.
@@ -59,10 +55,7 @@ pub fn diff_table(title: &str, ours: &[Row], paper: &[PaperRow]) -> String {
         "{:<12} {:>6}  {}\n",
         "config",
         "P",
-        report::paper::PLATFORMS
-            .iter()
-            .map(|p| format!("{p:>18}"))
-            .collect::<String>()
+        report::paper::PLATFORMS.iter().map(|p| format!("{p:>18}")).collect::<String>()
     ));
     for p in paper {
         let m = ours.iter().find(|r| {

@@ -92,7 +92,7 @@ pub fn advect_meridional(
     for j in 0..=nlat {
         let jj = j as isize; // interface between rows j-1 and j
         let glob = lat0 + j; // global index of the row north of the face
-        // Face weight: average of adjacent row weights; poles are closed.
+                             // Face weight: average of adjacent row weights; poles are closed.
         let w_face = if glob == 0 || glob >= grid.nlat {
             0.0
         } else {
@@ -255,10 +255,7 @@ mod tests {
         // Peak should now be at or next to column 14.
         let row = q.row(j_mid);
         let peak = row.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-        assert!(
-            (peak as i64 - 14).abs() <= 1,
-            "peak at {peak}, expected near 14: {row:?}"
-        );
+        assert!((peak as i64 - 14).abs() <= 1, "peak at {peak}, expected near 14: {row:?}");
     }
 
     #[test]

@@ -108,7 +108,8 @@ pub fn exchange_lat_halos(
         let mut buf = Vec::new();
         for b in levels {
             for h in 0..halo {
-                let j = if north { h as isize } else { b.nlat as isize - halo as isize + h as isize };
+                let j =
+                    if north { h as isize } else { b.nlat as isize - halo as isize + h as isize };
                 buf.extend_from_slice(b.row(j));
             }
         }
@@ -133,8 +134,7 @@ pub fn exchange_lat_halos(
     let mirror = |levels: &mut [LevelBlock], north: bool| {
         let nlon = levels[0].nlon;
         for b in levels.iter_mut() {
-            for h in 1..=halo as isize
-            {
+            for h in 1..=halo as isize {
                 for i in 0..nlon {
                     let flip = (i + nlon / 2) % nlon;
                     if north {
@@ -392,8 +392,7 @@ mod tests {
                     for j in 0..nlat {
                         for i in 0..grid.nlon {
                             // Tag with global (level, lat, lon).
-                            *b.get_mut(j as isize, i) =
-                                (k * 10000 + (lat0 + j) * 100 + i) as f64;
+                            *b.get_mut(j as isize, i) = (k * 10000 + (lat0 + j) * 100 + i) as f64;
                         }
                     }
                     b
@@ -445,8 +444,7 @@ mod tests {
                 .collect();
             let original: Vec<Vec<f64>> = levels.iter().map(|b| b.data.clone()).collect();
 
-            let (cols, sent) =
-                transpose_to_columns(comm, &grid, &d, &levels, comm.rank(), 60);
+            let (cols, sent) = transpose_to_columns(comm, &grid, &d, &levels, comm.rank(), 60);
             assert!(sent > 0);
             // The column block holds globally-tagged values for my chunk.
             let (lon0, _) = d.lon_chunk(grid.nlon, jz);

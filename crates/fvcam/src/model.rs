@@ -64,8 +64,7 @@ pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfil
     if ranks % pz != 0 || pz > grid.nlev {
         return None;
     }
-    let decomp =
-        if pz == 1 { Decomp::one_d(ranks) } else { Decomp::two_d(ranks, pz) };
+    let decomp = if pz == 1 { Decomp::one_d(ranks) } else { Decomp::two_d(ranks, pz) };
     // Pacing rank: the first latitude band (largest, and polar — it also
     // carries the filter load).
     let (_, nlat_loc) = decomp.lat_band(grid.nlat, 0);
@@ -141,8 +140,8 @@ pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfil
     // Four halo exchanges per step (q twice, winds), two rows each. The
     // pacing (polar) rank has one real neighbor; its other side is the
     // local pole mirror.
-    let neighbors = decomp.py.saturating_sub(1).min(1) as f64
-        + if decomp.py > 2 { 1.0 } else { 0.0 };
+    let neighbors =
+        decomp.py.saturating_sub(1).min(1) as f64 + if decomp.py > 2 { 1.0 } else { 0.0 };
     let halo_bytes = (2 * grid.nlon * nlev_loc) as f64 * 8.0;
     if neighbors > 0.0 {
         for _ in 0..4 {
@@ -153,13 +152,9 @@ pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfil
         // Vertical coupling within the level-group column.
         w.comm.push(CommEvent::Allreduce { bytes: 64.0, procs: pz as f64 });
         // The two remap transposes among the pz ranks of a latitude band.
-        let transpose_bytes =
-            (nlev_loc * nlat_loc * (grid.nlon - nlon_chunk)) as f64 * 8.0;
+        let transpose_bytes = (nlev_loc * nlat_loc * (grid.nlon - nlon_chunk)) as f64 * 8.0;
         for _ in 0..2 {
-            w.comm.push(CommEvent::Transpose {
-                bytes_per_rank: transpose_bytes,
-                procs: pz as f64,
-            });
+            w.comm.push(CommEvent::Transpose { bytes_per_rank: transpose_bytes, procs: pz as f64 });
         }
     }
     Some(w)

@@ -101,7 +101,7 @@ mod tests {
         assert!(PolarFilter::needs_filter(&g, 0));
         assert!(PolarFilter::needs_filter(&g, 180));
         assert!(!PolarFilter::needs_filter(&g, 90)); // equator
-        // 60° boundary: |lat| of row 30 is 60° exactly.
+                                                     // 60° boundary: |lat| of row 30 is 60° exactly.
         assert!(PolarFilter::needs_filter(&g, 30));
         assert!(!PolarFilter::needs_filter(&g, 31));
     }

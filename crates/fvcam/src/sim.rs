@@ -17,9 +17,7 @@
 use msim::Comm;
 
 use crate::advect::{advect_meridional, advect_zonal, block_mass, FLOPS_PER_CELL};
-use crate::decomp::{
-    exchange_lat_halos, transpose_to_columns, transpose_to_levels, Decomp,
-};
+use crate::decomp::{exchange_lat_halos, transpose_to_columns, transpose_to_levels, Decomp};
 use crate::grid::{LevelBlock, SphereGrid};
 use crate::polar::PolarFilter;
 use crate::vertical::{drift_edges, remap_column, remap_flops};
@@ -97,11 +95,8 @@ impl FvSim {
     /// test, and the flow regime behind the paper's Figure 1 storms).
     pub fn new(params: FvParams, rank: usize, nprocs: usize) -> Self {
         let grid = SphereGrid::new(params.nlon, params.nlat, params.nlev);
-        let decomp = if params.pz == 1 {
-            Decomp::one_d(nprocs)
-        } else {
-            Decomp::two_d(nprocs, params.pz)
-        };
+        let decomp =
+            if params.pz == 1 { Decomp::one_d(nprocs) } else { Decomp::two_d(nprocs, params.pz) };
         assert_eq!(decomp.nprocs(), nprocs);
         let (jz, jy) = decomp.coords(rank);
         let (lat0, nlat_loc) = decomp.lat_band(grid.nlat, jy);
@@ -125,10 +120,10 @@ impl FvSim {
             // Cosine bell centered at (90°E, 30°N), amplitude varying by level.
             let lon = grid.longitude(i);
             let lat = grid.latitude(j);
-            let d = ((lon - std::f64::consts::FRAC_PI_2).powi(2)
-                + ((lat - 0.5).powi(2)) * 4.0)
-                .sqrt();
-            let bell = if d < 0.8 { 0.5 * (1.0 + (std::f64::consts::PI * d / 0.8).cos()) } else { 0.0 };
+            let d =
+                ((lon - std::f64::consts::FRAC_PI_2).powi(2) + ((lat - 0.5).powi(2)) * 4.0).sqrt();
+            let bell =
+                if d < 0.8 { 0.5 * (1.0 + (std::f64::consts::PI * d / 0.8).cos()) } else { 0.0 };
             bell * (1.0 + 0.1 * k as f64)
         });
         // Solid-body rotation: constant angular velocity → cx constant in
@@ -196,11 +191,7 @@ impl FvSim {
         // real FVCAM; pairwise here to keep the Figure-2 pattern visible).
         if self.decomp.pz > 1 {
             let (jz, jy) = self.decomp.coords(self.rank);
-            let local_sum: f64 = self
-                .q
-                .iter()
-                .map(|b| block_mass(&self.grid, b, self.lat0))
-                .sum();
+            let local_sum: f64 = self.q.iter().map(|b| block_mass(&self.grid, b, self.lat0)).sum();
             let mut total = local_sum;
             for kz in 0..self.decomp.pz {
                 if kz == jz {
@@ -332,11 +323,7 @@ mod tests {
             let interiors: Vec<Vec<f64>> = sim
                 .q
                 .iter()
-                .map(|b| {
-                    (0..b.nlat)
-                        .flat_map(|j| b.row(j as isize).to_vec())
-                        .collect()
-                })
+                .map(|b| (0..b.nlat).flat_map(|j| b.row(j as isize).to_vec()).collect())
                 .collect();
             (sim.lev0, sim.lat0, sim.q[0].nlat, interiors)
         })

@@ -30,8 +30,7 @@ pub fn remap_column(src_edges: &[f64], q_src: &[f64], dst_edges: &[f64]) -> Vec<
     assert_eq!(src_edges.len(), ns + 1, "source edges/means mismatch");
     let nd = dst_edges.len() - 1;
     assert!(
-        (src_edges[0] - dst_edges[0]).abs() < 1e-9
-            && (src_edges[ns] - dst_edges[nd]).abs() < 1e-9,
+        (src_edges[0] - dst_edges[0]).abs() < 1e-9 && (src_edges[ns] - dst_edges[nd]).abs() < 1e-9,
         "edge sets must span the same interval"
     );
     for w in src_edges.windows(2).chain(dst_edges.windows(2)) {

@@ -93,9 +93,8 @@ pub fn deposit_work_vector(
     let mzeta = charge.len() - 1;
     let plane_len = grid.len();
     // Private copies: replicas × planes.
-    let mut private: Vec<Vec<Vec<f64>>> = (0..replicas)
-        .map(|_| (0..=mzeta).map(|_| vec![0.0; plane_len]).collect())
-        .collect();
+    let mut private: Vec<Vec<Vec<f64>>> =
+        (0..replicas).map(|_| (0..=mzeta).map(|_| vec![0.0; plane_len]).collect()).collect();
     // Deal markers round-robin to replicas — the register-slot pattern.
     for (p, copy) in (0..particles.len()).map(|p| (p, p % replicas)) {
         let one = single_marker_view(particles, p);

@@ -108,10 +108,7 @@ pub fn workload(procs: usize) -> WorkloadProfile {
     if npe > 1 {
         w.comm.push(CommEvent::Allreduce { bytes: grid_bytes, procs: npe as f64 });
     }
-    w.comm.push(CommEvent::Halo {
-        bytes: PLANE_POINTS * 8.0,
-        neighbors: 2.0,
-    });
+    w.comm.push(CommEvent::Halo { bytes: PLANE_POINTS * 8.0, neighbors: 2.0 });
     w.comm.push(CommEvent::Halo {
         bytes: SHIFT_FRACTION * np * (ATTRS as f64) * 8.0,
         neighbors: 2.0,
@@ -133,8 +130,8 @@ mod tests {
             let mut sim = GtcSim::new(params, world);
             sim.step(world);
             let n = sim.counters.deposited as f64;
-            let analytic_particle = n
-                * (DEPOSIT_FLOPS + GATHER_FLOPS_PER_PARTICLE + PUSH_FLOPS_PER_PARTICLE);
+            let analytic_particle =
+                n * (DEPOSIT_FLOPS + GATHER_FLOPS_PER_PARTICLE + PUSH_FLOPS_PER_PARTICLE);
             let cg = sim.counters.cg_iterations as f64
                 * (crate::poisson::operator_flops(&sim.fields.grid)
                     + 10.0 * sim.fields.grid.len() as f64);
@@ -147,11 +144,7 @@ mod tests {
     fn shift_fraction_is_close_to_model_constant() {
         // Measured crossing rate should be the same order as the model's
         // SHIFT_FRACTION (|v̄|·dt / wedge size sets it).
-        let params = GtcParams {
-            particles_per_domain: 4000,
-            dt: 0.02,
-            ..Default::default()
-        };
+        let params = GtcParams { particles_per_domain: 4000, dt: 0.02, ..Default::default() };
         let frac = msim::run(4, move |world| {
             let mut sim = GtcSim::new(params, world);
             sim.run(world, 5);
@@ -177,10 +170,7 @@ mod tests {
     #[test]
     fn allreduce_appears_only_with_particle_decomposition() {
         let w64 = workload(64); // npe = 1: no particle decomposition
-        assert!(!w64
-            .comm
-            .iter()
-            .any(|e| matches!(e, CommEvent::Allreduce { .. })));
+        assert!(!w64.comm.iter().any(|e| matches!(e, CommEvent::Allreduce { .. })));
         let w512 = workload(512); // npe = 8
         assert!(w512
             .comm
@@ -193,12 +183,8 @@ mod tests {
         // The paper: computational work directly involving particles is
         // ~85 % of the total.
         let w = workload(512);
-        let particle_flops: f64 = w
-            .phases
-            .iter()
-            .filter(|p| p.name != "poisson solve")
-            .map(|p| p.flops)
-            .sum();
+        let particle_flops: f64 =
+            w.phases.iter().filter(|p| p.name != "poisson solve").map(|p| p.flops).sum();
         assert!(particle_flops / w.total_flops() > 0.85);
     }
 }

@@ -4,8 +4,7 @@
 //! GTC (millions of trip counts), so each attribute lives in its own
 //! contiguous array, exactly like the F90 original.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use hec_core::rng::Rng;
 
 /// Number of `f64` attributes per particle (the wire format for shifts).
 pub const ATTRS: usize = 6;
@@ -108,18 +107,18 @@ pub fn load_uniform(
     zeta_hi: f64,
     seed: u64,
 ) -> Particles {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut p = Particles::default();
     for _ in 0..count {
         // Uniform in area: r ∝ sqrt(U) between the walls.
-        let u: f64 = rng.gen();
+        let u: f64 = rng.uniform();
         let r = (r_in * r_in + u * (r_out * r_out - r_in * r_in)).sqrt();
-        let theta = rng.gen::<f64>() * std::f64::consts::TAU;
-        let zeta = zeta_lo + rng.gen::<f64>() * (zeta_hi - zeta_lo);
+        let theta = rng.uniform() * std::f64::consts::TAU;
+        let zeta = zeta_lo + rng.uniform() * (zeta_hi - zeta_lo);
         // Sum of uniforms ≈ Gaussian (Irwin–Hall, k = 6).
-        let v: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() - 3.0;
+        let v: f64 = (0..6).map(|_| rng.uniform()).sum::<f64>() - 3.0;
         let weight = 1.0 + 0.01 * (theta.sin() + zeta.cos());
-        let rho = 0.01 + 0.005 * rng.gen::<f64>();
+        let rho = 0.01 + 0.005 * rng.uniform();
         p.push([r, theta, zeta, v, weight, rho]);
     }
     p
@@ -177,5 +176,56 @@ mod tests {
     fn absorb_rejects_misaligned_buffer() {
         let mut p = Particles::default();
         p.absorb(&[1.0; 7]);
+    }
+
+    /// Golden bit patterns for seed 2005. If this test fails the RNG or the
+    /// load recipe changed, which silently invalidates every recorded
+    /// experiment — bump the seeds in EXPERIMENTS.md if the change is
+    /// intentional.
+    #[test]
+    fn load_is_bit_reproducible_against_golden_values() {
+        let p = load_uniform(1000, 0.1, 0.9, 0.0, 1.0, 2005);
+        let golden: [(usize, [u64; ATTRS]); 3] = [
+            (
+                0,
+                [
+                    0x3fd3fde5692242f4,
+                    0x400027f486b9b172,
+                    0x3fc048e9c1497018,
+                    0x3f82d5c3597dcd00,
+                    0x3ff04d88befe4d67,
+                    0x3f8816439ee066f0,
+                ],
+            ),
+            (
+                499,
+                [
+                    0x3fea4dada192b261,
+                    0x401737a90b5af6c3,
+                    0x3fdd301154025cda,
+                    0xbfef1f4077dae164,
+                    0x3ff011e6d96b920b,
+                    0x3f8e58928b857ed8,
+                ],
+            ),
+            (
+                999,
+                [
+                    0x3fdd3e51a8f52ee2,
+                    0x3fed7cd496f41026,
+                    0x3fc3f54112e2afc8,
+                    0x3fe85d0b17efcde8,
+                    0x3ff049167c7918d0,
+                    0x3f8ce3c18c7db631,
+                ],
+            ),
+        ];
+        for (i, bits) in golden {
+            let got = p.get(i);
+            for (attr, (g, want)) in got.iter().zip(bits).enumerate() {
+                assert_eq!(g.to_bits(), want, "marker {i} attribute {attr} drifted");
+            }
+        }
+        assert_eq!(p.total_weight().to_bits(), 0x408f8379f5cef982);
     }
 }

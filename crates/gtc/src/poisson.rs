@@ -45,8 +45,7 @@ pub fn apply_operator(grid: &PoloidalGrid, x: &[f64], y: &mut [f64]) {
             // exactly what makes the matrix symmetric.
             let rp = r + 0.5 * dr;
             let rm = r - 0.5 * dr;
-            let d2r = (rp * (x[grid.idx(i + 1, j)] - x[ix])
-                - rm * (x[ix] - x[grid.idx(i - 1, j)]))
+            let d2r = (rp * (x[grid.idx(i + 1, j)] - x[ix]) - rm * (x[ix] - x[grid.idx(i - 1, j)]))
                 / (dr * dr);
             let d2t = (x[grid.idx(i, jp)] - 2.0 * x[ix] + x[grid.idx(i, jm)]) / (r * dt * dt);
             y[ix] = -RHO_S2 * (d2r + d2t) + r * x[ix];
@@ -112,10 +111,7 @@ mod tests {
         apply_operator(&g, &y, &mut ay);
         let xay: f64 = x.iter().zip(&ay).map(|(a, b)| a * b).sum();
         let yax: f64 = y.iter().zip(&ax).map(|(a, b)| a * b).sum();
-        assert!(
-            (xay - yax).abs() < 1e-10 * xay.abs().max(1.0),
-            "not symmetric: {xay} vs {yax}"
-        );
+        assert!((xay - yax).abs() < 1e-10 * xay.abs().max(1.0), "not symmetric: {xay} vs {yax}");
     }
 
     #[test]
@@ -129,8 +125,7 @@ mod tests {
             for j in 0..g.mtheta {
                 let t = j as f64 * g.dtheta();
                 // Vanishes at both walls; smooth in θ.
-                phi_star[g.idx(i, j)] =
-                    ((r - g.r_inner) * (g.r_outer - r)) * (2.0 * t).cos();
+                phi_star[g.idx(i, j)] = ((r - g.r_inner) * (g.r_outer - r)) * (2.0 * t).cos();
             }
         }
         let mut rhs = vec![0.0; n];

@@ -228,16 +228,9 @@ impl GtcSim {
         er_planes.push(ghost_er);
         let mut et_planes: Vec<Vec<f64>> = self.fields.e_theta[..mzeta].to_vec();
         et_planes.push(ghost_et);
-        let field = gather(
-            &grid,
-            &self.particles,
-            &er_planes,
-            &et_planes,
-            self.zeta_lo,
-            self.dzeta(),
-        );
-        self.counters.pushed +=
-            push(&grid, &mut self.particles, &field, self.params.dt) as u64;
+        let field =
+            gather(&grid, &self.particles, &er_planes, &et_planes, self.zeta_lo, self.dzeta());
+        self.counters.pushed += push(&grid, &mut self.particles, &field, self.params.dt) as u64;
 
         // --- Shift escaped markers to the toroidal neighbors.
         self.shift(world);
@@ -384,11 +377,7 @@ mod tests {
 
     #[test]
     fn shifts_actually_happen() {
-        let params = GtcParams {
-            particles_per_domain: 1000,
-            dt: 0.05,
-            ..Default::default()
-        };
+        let params = GtcParams { particles_per_domain: 1000, dt: 0.05, ..Default::default() };
         let counters = msim::run(4, move |world| {
             let mut sim = GtcSim::new(params, world);
             sim.run(world, 5);
@@ -426,10 +415,7 @@ mod tests {
             let w0 = sim.global_particle_stats(world).1;
             sim.step(world);
             // Sum plane 0..mzeta (ghost already folded into neighbor).
-            let local: f64 = sim.fields.charge[..sim.fields.mzeta]
-                .iter()
-                .flatten()
-                .sum();
+            let local: f64 = sim.fields.charge[..sim.fields.mzeta].iter().flatten().sum();
             // Each domain's charge is replicated npe times.
             let total = world.allreduce_sum_scalar(local) / sim.npe as f64;
             assert!((total - w0).abs() < 1e-6 * w0.abs(), "{total} vs {w0}");

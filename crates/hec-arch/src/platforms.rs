@@ -7,12 +7,11 @@
 //! prose and the cited references; they are fixed here once, globally, for
 //! all experiments.
 
+use hec_core::json::{FromJson, Json, JsonError, ToJson};
 use hec_net::{NetworkParams, Topology};
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies one evaluated machine (X1 appears twice: MSP and SSP modes).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum PlatformId {
     /// IBM Power3 (Seaborg, LBNL): 16-way Nighthawk II nodes, SP Switch2.
     Power3,
@@ -60,8 +59,24 @@ impl PlatformId {
     }
 }
 
+impl ToJson for PlatformId {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for PlatformId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str().ok_or_else(|| JsonError::new("platform id must be a string"))?;
+        PlatformId::ALL
+            .into_iter()
+            .find(|id| id.label() == s)
+            .ok_or_else(|| JsonError::new(format!("unknown platform '{s}'")))
+    }
+}
+
 /// Microarchitecture class with its model parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub enum Arch {
     /// Cache-based out-of-order (or EPIC) commodity processor.
     Superscalar(SuperscalarParams),
@@ -70,7 +85,7 @@ pub enum Arch {
 }
 
 /// Model constants for a superscalar processor.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SuperscalarParams {
     /// Sustained fraction of peak on cache-resident dense kernels
     /// (BLAS3-class code). Power3's ESSL reaches ~0.7; Itanium2 needs
@@ -99,7 +114,7 @@ pub struct SuperscalarParams {
 }
 
 /// Model constants for a vector processor.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct VectorParams {
     /// Hardware vector register length in 64-bit words (64 on X1 SSPs, 256
     /// on ES/SX-8).
@@ -131,7 +146,7 @@ pub struct VectorParams {
 }
 
 /// One evaluated machine: Table 1 measurements plus model constants.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Platform {
     /// Which machine this is.
     pub id: PlatformId,
@@ -177,6 +192,116 @@ impl Platform {
     /// True for the vector machines.
     pub fn is_vector(&self) -> bool {
         matches!(self.arch, Arch::Vector(_))
+    }
+}
+
+impl ToJson for SuperscalarParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("dense_ilp", Json::Num(self.dense_ilp)),
+            ("sparse_ilp", Json::Num(self.sparse_ilp)),
+            ("cache_bytes", Json::Num(self.cache_bytes)),
+            ("gather_bw_frac", Json::Num(self.gather_bw_frac)),
+            ("prefetch_streams", Json::Num(self.prefetch_streams)),
+            ("has_fma", Json::Bool(self.has_fma)),
+            ("cached_gather_ns", Json::Num(self.cached_gather_ns)),
+        ])
+    }
+}
+
+impl FromJson for SuperscalarParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SuperscalarParams {
+            dense_ilp: v.num_field("dense_ilp")?,
+            sparse_ilp: v.num_field("sparse_ilp")?,
+            cache_bytes: v.num_field("cache_bytes")?,
+            gather_bw_frac: v.num_field("gather_bw_frac")?,
+            prefetch_streams: v.num_field("prefetch_streams")?,
+            has_fma: v.bool_field("has_fma")?,
+            cached_gather_ns: v.num_field("cached_gather_ns")?,
+        })
+    }
+}
+
+impl ToJson for VectorParams {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("vreg_len", Json::Num(self.vreg_len)),
+            ("startup_slots", Json::Num(self.startup_slots)),
+            ("scalar_frac", Json::Num(self.scalar_frac)),
+            ("gather_bw_frac", Json::Num(self.gather_bw_frac)),
+            ("cache_bytes", Json::Num(self.cache_bytes)),
+            ("msp_ways", Json::Num(self.msp_ways)),
+            ("stream_serial_frac", Json::Num(self.stream_serial_frac)),
+            ("scalar_ilp", Json::Num(self.scalar_ilp)),
+        ])
+    }
+}
+
+impl FromJson for VectorParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(VectorParams {
+            vreg_len: v.num_field("vreg_len")?,
+            startup_slots: v.num_field("startup_slots")?,
+            scalar_frac: v.num_field("scalar_frac")?,
+            gather_bw_frac: v.num_field("gather_bw_frac")?,
+            cache_bytes: v.num_field("cache_bytes")?,
+            msp_ways: v.num_field("msp_ways")?,
+            stream_serial_frac: v.num_field("stream_serial_frac")?,
+            scalar_ilp: v.num_field("scalar_ilp")?,
+        })
+    }
+}
+
+impl ToJson for Arch {
+    fn to_json(&self) -> Json {
+        match self {
+            Arch::Superscalar(p) => {
+                Json::obj([("class", Json::Str("superscalar".into())), ("params", p.to_json())])
+            }
+            Arch::Vector(p) => {
+                Json::obj([("class", Json::Str("vector".into())), ("params", p.to_json())])
+            }
+        }
+    }
+}
+
+impl FromJson for Arch {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let params = v.field("params")?;
+        match v.str_field("class")? {
+            "superscalar" => Ok(Arch::Superscalar(SuperscalarParams::from_json(params)?)),
+            "vector" => Ok(Arch::Vector(VectorParams::from_json(params)?)),
+            other => Err(JsonError::new(format!("unknown arch class '{other}'"))),
+        }
+    }
+}
+
+impl ToJson for Platform {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", self.id.to_json()),
+            ("clock_mhz", Json::Num(self.clock_mhz)),
+            ("peak_gflops", Json::Num(self.peak_gflops)),
+            ("stream_bw_gbps", Json::Num(self.stream_bw_gbps)),
+            ("cpus_per_node", Json::Num(self.cpus_per_node as f64)),
+            ("net", self.net.to_json()),
+            ("arch", self.arch.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Platform {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Platform {
+            id: PlatformId::from_json(v.field("id")?)?,
+            clock_mhz: v.num_field("clock_mhz")?,
+            peak_gflops: v.num_field("peak_gflops")?,
+            stream_bw_gbps: v.num_field("stream_bw_gbps")?,
+            cpus_per_node: usize::from_json(v.field("cpus_per_node")?)?,
+            net: NetworkParams::from_json(v.field("net")?)?,
+            arch: Arch::from_json(v.field("arch")?)?,
+        })
     }
 }
 
@@ -418,10 +543,7 @@ mod tests {
         ];
         for (id, want) in cases {
             let got = Platform::get(id).bytes_per_flop();
-            assert!(
-                (got - want).abs() < 0.02,
-                "{id:?}: bytes/flop {got:.3} vs paper {want}"
-            );
+            assert!((got - want).abs() < 0.02, "{id:?}: bytes/flop {got:.3} vs paper {want}");
         }
     }
 
@@ -468,6 +590,33 @@ mod tests {
         let es_rel = es.stream_bw_gbps * esv.gather_bw_frac / es.peak_gflops;
         let sx_rel = sx8.stream_bw_gbps * sxv.gather_bw_frac / sx8.peak_gflops;
         assert!(es_rel > 1.4 * sx_rel);
+    }
+
+    #[test]
+    fn every_platform_round_trips_through_json() {
+        for p in Platform::all() {
+            let text = p.to_json().emit_pretty();
+            let back = Platform::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back.id, p.id);
+            assert_eq!(back.clock_mhz, p.clock_mhz);
+            assert_eq!(back.peak_gflops, p.peak_gflops);
+            assert_eq!(back.stream_bw_gbps, p.stream_bw_gbps);
+            assert_eq!(back.cpus_per_node, p.cpus_per_node);
+            assert_eq!(back.net.topology, p.net.topology);
+            match (p.arch, back.arch) {
+                (Arch::Superscalar(a), Arch::Superscalar(b)) => {
+                    assert_eq!(a.dense_ilp, b.dense_ilp);
+                    assert_eq!(a.has_fma, b.has_fma);
+                    assert_eq!(a.cached_gather_ns, b.cached_gather_ns);
+                }
+                (Arch::Vector(a), Arch::Vector(b)) => {
+                    assert_eq!(a.vreg_len, b.vreg_len);
+                    assert_eq!(a.msp_ways, b.msp_ways);
+                    assert_eq!(a.scalar_ilp, b.scalar_ilp);
+                }
+                _ => panic!("arch class changed in round trip for {:?}", p.id),
+            }
+        }
     }
 
     #[test]

@@ -327,10 +327,8 @@ mod tests {
         let mut ph = streaming_phase(1.3e9, 1.7e9);
         ph.concurrent_streams = 100.0;
         w.phases.push(ph);
-        let best_scalar = [POWER3, OPTERON]
-            .iter()
-            .map(|p| predict(p, &w).gflops_per_proc)
-            .fold(0.0, f64::max);
+        let best_scalar =
+            [POWER3, OPTERON].iter().map(|p| predict(p, &w).gflops_per_proc).fold(0.0, f64::max);
         for v in [ES, SX8, X1_MSP] {
             let g = predict(&v, &w).gflops_per_proc;
             assert!(g > 2.5 * best_scalar, "{:?}: {} vs {}", v.id, g, best_scalar);

@@ -4,11 +4,11 @@
 //! kernels (the instrumented counters are validated against analytic counts
 //! in each app's tests) and hand them to [`crate::predict`].
 
-use serde::{Deserialize, Serialize};
+use hec_core::json::{FromJson, Json, JsonError, ToJson};
 
 /// One communication event per timestep, as captured by `msim` or derived
 /// from the decomposition arithmetic (validated against capture).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CommEvent {
     /// Nearest-neighbor exchange: each rank sends `bytes` to each of
     /// `neighbors` peers.
@@ -48,8 +48,67 @@ pub enum CommEvent {
     },
 }
 
+impl ToJson for CommEvent {
+    fn to_json(&self) -> Json {
+        match *self {
+            CommEvent::Halo { bytes, neighbors } => Json::obj([
+                ("op", Json::Str("halo".into())),
+                ("bytes", Json::Num(bytes)),
+                ("neighbors", Json::Num(neighbors)),
+            ]),
+            CommEvent::Allreduce { bytes, procs } => Json::obj([
+                ("op", Json::Str("allreduce".into())),
+                ("bytes", Json::Num(bytes)),
+                ("procs", Json::Num(procs)),
+            ]),
+            CommEvent::Alltoall { bytes_per_pair, procs } => Json::obj([
+                ("op", Json::Str("alltoall".into())),
+                ("bytes_per_pair", Json::Num(bytes_per_pair)),
+                ("procs", Json::Num(procs)),
+            ]),
+            CommEvent::Transpose { bytes_per_rank, procs } => Json::obj([
+                ("op", Json::Str("transpose".into())),
+                ("bytes_per_rank", Json::Num(bytes_per_rank)),
+                ("procs", Json::Num(procs)),
+            ]),
+            CommEvent::Bcast { bytes, procs } => Json::obj([
+                ("op", Json::Str("bcast".into())),
+                ("bytes", Json::Num(bytes)),
+                ("procs", Json::Num(procs)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for CommEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.str_field("op")? {
+            "halo" => Ok(CommEvent::Halo {
+                bytes: v.num_field("bytes")?,
+                neighbors: v.num_field("neighbors")?,
+            }),
+            "allreduce" => Ok(CommEvent::Allreduce {
+                bytes: v.num_field("bytes")?,
+                procs: v.num_field("procs")?,
+            }),
+            "alltoall" => Ok(CommEvent::Alltoall {
+                bytes_per_pair: v.num_field("bytes_per_pair")?,
+                procs: v.num_field("procs")?,
+            }),
+            "transpose" => Ok(CommEvent::Transpose {
+                bytes_per_rank: v.num_field("bytes_per_rank")?,
+                procs: v.num_field("procs")?,
+            }),
+            "bcast" => {
+                Ok(CommEvent::Bcast { bytes: v.num_field("bytes")?, procs: v.num_field("procs")? })
+            }
+            other => Err(JsonError::new(format!("unknown comm op '{other}'"))),
+        }
+    }
+}
+
 /// Computation profile of one phase of one timestep on one processor.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PhaseProfile {
     /// Phase name (e.g. `"collision"`, `"charge deposition"`).
     pub name: String,
@@ -116,9 +175,49 @@ impl PhaseProfile {
     }
 }
 
+impl ToJson for PhaseProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("flops", Json::Num(self.flops)),
+            ("vector_fraction", Json::Num(self.vector_fraction)),
+            ("avg_vector_length", Json::Num(self.avg_vector_length)),
+            ("unit_stride_bytes", Json::Num(self.unit_stride_bytes)),
+            ("gather_scatter_bytes", Json::Num(self.gather_scatter_bytes)),
+            ("cacheable_fraction", Json::Num(self.cacheable_fraction)),
+            ("dense_fraction", Json::Num(self.dense_fraction)),
+            ("working_set_bytes", Json::Num(self.working_set_bytes)),
+            ("concurrent_streams", Json::Num(self.concurrent_streams)),
+            ("outer_parallelism", Json::Num(self.outer_parallelism)),
+        ])
+    }
+}
+
+impl FromJson for PhaseProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(PhaseProfile {
+            name: v.str_field("name")?.to_string(),
+            flops: v.num_field("flops")?,
+            vector_fraction: v.num_field("vector_fraction")?,
+            avg_vector_length: v.num_field("avg_vector_length")?,
+            unit_stride_bytes: v.num_field("unit_stride_bytes")?,
+            gather_scatter_bytes: v.num_field("gather_scatter_bytes")?,
+            cacheable_fraction: v.num_field("cacheable_fraction")?,
+            dense_fraction: v.num_field("dense_fraction")?,
+            working_set_bytes: v.num_field("working_set_bytes")?,
+            concurrent_streams: v.num_field("concurrent_streams")?,
+            // Infinity is emitted as null (JSON has no Inf); restore it.
+            outer_parallelism: match v.field("outer_parallelism")? {
+                Json::Null => f64::INFINITY,
+                other => f64::from_json(other)?,
+            },
+        })
+    }
+}
+
 /// Everything one processor does in one timestep: computation phases plus
 /// communication events.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct WorkloadProfile {
     /// Application label (e.g. `"LBMHD3D"`).
     pub app: String,
@@ -144,6 +243,28 @@ impl WorkloadProfile {
     /// Total memory traffic per processor per step (no cache filtering).
     pub fn total_bytes(&self) -> f64 {
         self.phases.iter().map(|p| p.unit_stride_bytes + p.gather_scatter_bytes).sum()
+    }
+}
+
+impl ToJson for WorkloadProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", Json::Str(self.app.clone())),
+            ("job_procs", Json::Num(self.job_procs as f64)),
+            ("phases", self.phases.to_json()),
+            ("comm", self.comm.to_json()),
+        ])
+    }
+}
+
+impl FromJson for WorkloadProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(WorkloadProfile {
+            app: v.str_field("app")?.to_string(),
+            job_procs: usize::from_json(v.field("job_procs")?)?,
+            phases: Vec::from_json(v.field("phases")?)?,
+            comm: Vec::from_json(v.field("comm")?)?,
+        })
     }
 }
 
@@ -183,9 +304,35 @@ mod tests {
 
     #[test]
     fn comm_events_serialize_round_trip() {
-        let e = CommEvent::Alltoall { bytes_per_pair: 128.0, procs: 64.0 };
-        let json = serde_json::to_string(&e).unwrap();
-        let back: CommEvent = serde_json::from_str(&json).unwrap();
-        assert_eq!(e, back);
+        let events = [
+            CommEvent::Halo { bytes: 4096.0, neighbors: 6.0 },
+            CommEvent::Allreduce { bytes: 8.0, procs: 256.0 },
+            CommEvent::Alltoall { bytes_per_pair: 128.0, procs: 64.0 },
+            CommEvent::Transpose { bytes_per_rank: 1e6, procs: 64.0 },
+            CommEvent::Bcast { bytes: 64.0, procs: 512.0 },
+        ];
+        for e in events {
+            let text = e.to_json().emit();
+            let back = CommEvent::from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn workload_profile_round_trips_including_infinite_outer_parallelism() {
+        let mut w = WorkloadProfile::new("GTC", 64);
+        let mut p = PhaseProfile::new("charge deposition");
+        p.flops = 1.5e9;
+        p.gather_scatter_bytes = 2.0e9;
+        w.phases.push(p); // keeps the default outer_parallelism = Inf
+        w.comm.push(CommEvent::Allreduce { bytes: 8.0, procs: 64.0 });
+        let text = w.to_json().emit_pretty();
+        let back = WorkloadProfile::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.app, "GTC");
+        assert_eq!(back.job_procs, 64);
+        assert_eq!(back.phases.len(), 1);
+        assert_eq!(back.phases[0].flops, 1.5e9);
+        assert!(back.phases[0].outer_parallelism.is_infinite());
+        assert_eq!(back.comm, w.comm);
     }
 }

@@ -1,0 +1,150 @@
+//! Scoped-thread parallel-for, replacing `rayon` for the OpenMP-style
+//! loops of the mini-apps.
+//!
+//! The suite's parallel loops are coarse (z-slabs of a lattice block,
+//! latitude bands of a sphere): a handful of contiguous chunks handed to
+//! scoped threads is all the machinery they need. Work is split into
+//! contiguous chunks — one per worker — so results concatenate back in
+//! input order and the output is bit-identical to the sequential loop.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call will use for `n` items.
+pub fn workers_for(n: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    hw.min(n).max(1)
+}
+
+/// Applies `f` to every element of `items`, in parallel, returning the
+/// results in input order. Equivalent to
+/// `items.iter().map(f).collect()` — including panic propagation: if any
+/// invocation panics, the panic resurfaces on the caller after all
+/// workers have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| scope.spawn(|| c.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => parts.push(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    parts.into_iter().flatten().collect()
+}
+
+/// Splits `data` into chunks of at most `chunk_len` elements and runs
+/// `f(chunk_index, chunk)` on scoped worker threads. The chunking is
+/// identical to `data.chunks_mut(chunk_len)`, so `chunk_index *
+/// chunk_len` recovers each chunk's offset.
+///
+/// # Panics
+/// Panics if `chunk_len == 0`; worker panics resurface on the caller.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let workers = workers_for(chunks.len());
+    if workers <= 1 {
+        for (i, c) in chunks {
+            f(i, c);
+        }
+        return;
+    }
+    let per = chunks.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        while !chunks.is_empty() {
+            let take = per.min(chunks.len());
+            let group: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for (i, c) in group {
+                    f(i, c);
+                }
+            }));
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<usize> = (0..1000).collect();
+        let par = par_map(&items, |&x| x * x + 1);
+        let seq: Vec<usize> = items.iter().map(|&x| x * x + 1).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_uneven_splits() {
+        for n in [0usize, 1, 2, 3, 7, 63, 64, 65, 1001] {
+            let items: Vec<usize> = (0..n).collect();
+            let out = par_map(&items, |&x| x);
+            assert_eq!(out, items, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_equals_sequential_chunked_loop() {
+        let mut par_data: Vec<f64> = (0..257).map(|i| i as f64).collect();
+        let mut seq_data = par_data.clone();
+        let update = |idx: usize, c: &mut [f64]| {
+            for v in c.iter_mut() {
+                *v = *v * 2.0 + idx as f64;
+            }
+        };
+        par_chunks_mut(&mut par_data, 16, update);
+        for (i, c) in seq_data.chunks_mut(16).enumerate() {
+            update(i, c);
+        }
+        assert_eq!(par_data, seq_data);
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let items = vec![1, 2, 3, 4];
+        let r = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                if x == 3 {
+                    panic!("worker died");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        let mut none: Vec<u8> = Vec::new();
+        par_chunks_mut(&mut none, 4, |_, _| panic!("no chunks expected"));
+    }
+}

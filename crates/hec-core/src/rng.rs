@@ -1,0 +1,207 @@
+//! Deterministic pseudo-random numbers.
+//!
+//! xoshiro256++ (Blackman & Vigna) seeded through splitmix64, the standard
+//! pairing: splitmix64 decorrelates arbitrary user seeds (including 0 and
+//! small integers) into the 256-bit state. The stream depends on nothing
+//! but the seed — same seed, same sequence, on every platform and build —
+//! which is what the particle-load golden tests and the seeded property
+//! loops require.
+
+/// The splitmix64 step, also used by `msim` for communicator ids.
+#[inline]
+pub fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the Marsaglia polar transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        Rng { s, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        // Top 53 bits scaled by 2^-53 — the conventional conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is empty");
+        // Multiply-shift rejection (Lemire): unbiased for all n < 2^64.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Standard normal deviate (mean 0, variance 1), Marsaglia polar method.
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        loop {
+            let u = 2.0 * self.uniform() - 1.0;
+            let v = 2.0 * self.uniform() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let k = (-2.0 * s.ln() / s).sqrt();
+                self.spare_normal = Some(v * k);
+                return u * k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(12345);
+        let mut b = Rng::new(12345);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_not_degenerate() {
+        // splitmix64 expansion must keep the all-zero state unreachable.
+        let mut r = Rng::new(0);
+        let outputs: Vec<u64> = (0..16).map(|_| r.next_u64()).collect();
+        assert!(outputs.iter().any(|&x| x != 0));
+        assert!(outputs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval_with_correct_moments() {
+        let mut r = Rng::new(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = r.uniform();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 0.003, "variance {var}");
+    }
+
+    #[test]
+    fn normal_has_unit_variance_and_zero_mean() {
+        let mut r = Rng::new(99);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn below_is_unbiased_across_buckets() {
+        let mut r = Rng::new(3);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.below(7)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = n / 7;
+            assert!((c as i64 - expect as i64).abs() < (expect / 10) as i64, "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = Rng::new(5);
+        for _ in 0..1000 {
+            let x = r.range(-2.5, 4.0);
+            assert!((-2.5..4.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn golden_first_outputs_are_stable() {
+        // Pin the exact stream: any change to seeding or the generator is a
+        // breaking change for every seeded experiment in the suite.
+        let mut r = Rng::new(42);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let mut sm = 42u64;
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        // First output is derivable by hand from the seeded state.
+        let want0 = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(got[0], want0);
+        // And the stream must be reproducible wholesale.
+        let mut r2 = Rng::new(42);
+        let again: Vec<u64> = (0..4).map(|_| r2.next_u64()).collect();
+        assert_eq!(got, again);
+    }
+}

@@ -1,0 +1,109 @@
+//! Poison-tolerant `Mutex`/`Condvar`, replacing `parking_lot`.
+//!
+//! msim's runtime deliberately lets rank threads unwind through held
+//! mailbox locks (a panicking rank poisons the *world*, not the lock, and
+//! sibling ranks must still be able to inspect their queues to observe the
+//! poisoning). `std`'s lock poisoning would turn that into a cascade of
+//! `PoisonError` panics, so these wrappers recover the guard
+//! unconditionally — exactly the semantics `parking_lot` provided.
+
+use std::sync::{self, PoisonError};
+
+/// Re-exported guard type; identical to [`std::sync::MutexGuard`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+/// A mutex whose `lock` never fails: a poisoned lock is recovered.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`]; `wait` recovers from
+/// poisoning like [`Mutex::lock`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard` and blocks until notified; reacquires
+    /// the lock (poison-tolerant) before returning.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_after_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the std lock");
+        })
+        .join();
+        // parking_lot semantics: the data stays reachable.
+        let mut g = m.lock();
+        *g += 1;
+        assert_eq!(*g, 42);
+    }
+
+    #[test]
+    fn condvar_handoff_works() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut ready = m.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+            true
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = Mutex::new(vec![1, 2, 3]);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

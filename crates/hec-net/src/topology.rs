@@ -6,10 +6,10 @@
 //! a global pattern (all-to-all) oversubscribes the narrowest cut relative
 //! to a nearest-neighbor pattern.
 
-use serde::{Deserialize, Serialize};
+use hec_core::json::{FromJson, Json, JsonError, ToJson};
 
 /// Interconnect topology of a platform (paper Table 1, last column).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Topology {
     /// Full-bisection fat-tree (SP Switch2, Quadrics Elan4, InfiniBand).
     FatTree,
@@ -51,9 +51,9 @@ impl Topology {
     pub fn alltoall_contention(self, nodes: usize) -> f64 {
         let n = nodes.max(2) as f64;
         match self {
-            Topology::FatTree => 1.3,        // static-routing hot spots
-            Topology::Crossbar => 1.0,       // single-stage, non-blocking
-            Topology::Ixs => 1.1,            // multi-stage, near-full bisection
+            Topology::FatTree => 1.3,                        // static-routing hot spots
+            Topology::Crossbar => 1.0,                       // single-stage, non-blocking
+            Topology::Ixs => 1.1,                            // multi-stage, near-full bisection
             Topology::Hypercube4D => 1.0 + (n.log2() / 8.0), // dim-ordered routing
             Topology::Torus2D => (n.sqrt() / 4.0).max(1.0),
         }
@@ -74,6 +74,31 @@ impl Topology {
             Topology::Ixs => "IXS Crossbar",
             Topology::Torus2D => "2D-Torus",
         }
+    }
+
+    /// Every topology variant, for exhaustive iteration in tests and JSON.
+    pub const ALL: [Topology; 5] = [
+        Topology::FatTree,
+        Topology::Hypercube4D,
+        Topology::Crossbar,
+        Topology::Ixs,
+        Topology::Torus2D,
+    ];
+}
+
+impl ToJson for Topology {
+    fn to_json(&self) -> Json {
+        Json::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for Topology {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v.as_str().ok_or_else(|| JsonError::new("topology must be a string"))?;
+        Topology::ALL
+            .into_iter()
+            .find(|t| t.label() == s)
+            .ok_or_else(|| JsonError::new(format!("unknown topology '{s}'")))
     }
 }
 
@@ -138,6 +163,17 @@ mod tests {
                 assert_ne!(a, b);
             }
         }
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for t in Topology::ALL {
+            let j = t.to_json();
+            let parsed = Json::parse(&j.emit()).unwrap();
+            assert_eq!(Topology::from_json(&parsed).unwrap(), t);
+        }
+        assert!(Topology::from_json(&Json::Str("Mesh".into())).is_err());
+        assert!(Topology::from_json(&Json::Num(1.0)).is_err());
     }
 
     #[test]

@@ -113,10 +113,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn mul(self, o: Complex64) -> Complex64 {
-        Complex64 {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex64 { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 }
 

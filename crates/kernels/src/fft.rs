@@ -58,12 +58,7 @@ impl FftPlan {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
         if n.is_power_of_two() {
-            FftPlan {
-                n,
-                twiddles: make_twiddles(n),
-                bitrev: make_bitrev(n),
-                bluestein: None,
-            }
+            FftPlan { n, twiddles: make_twiddles(n), bitrev: make_bitrev(n), bluestein: None }
         } else {
             let m = (2 * n - 1).next_power_of_two();
             let inner = Box::new(FftPlan::new(m));
@@ -220,18 +215,14 @@ impl FftPlan {
     pub fn flops_actual(&self) -> f64 {
         match &self.bluestein {
             None => 5.0 * self.n as f64 * (self.n as f64).log2(),
-            Some(b) => {
-                3.0 * 5.0 * b.m as f64 * (b.m as f64).log2() + 6.0 * 3.0 * self.n as f64
-            }
+            Some(b) => 3.0 * 5.0 * b.m as f64 * (b.m as f64).log2() + 6.0 * 3.0 * self.n as f64,
         }
     }
 }
 
 fn make_twiddles(n: usize) -> Vec<Complex64> {
     let half = (n / 2).max(1);
-    (0..half)
-        .map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
-        .collect()
+    (0..half).map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64)).collect()
 }
 
 fn make_bitrev(n: usize) -> Vec<u32> {
@@ -281,9 +272,7 @@ mod tests {
     }
 
     fn ramp(n: usize) -> Vec<Complex64> {
-        (0..n)
-            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
-            .collect()
+        (0..n).map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos())).collect()
     }
 
     #[test]
@@ -374,8 +363,7 @@ mod tests {
         let a = ramp(n);
         let b: Vec<Complex64> = (0..n).map(|i| Complex64::new(0.3 * i as f64, -0.2)).collect();
         let alpha = Complex64::new(1.5, -0.5);
-        let mut combo: Vec<Complex64> =
-            a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
+        let mut combo: Vec<Complex64> = a.iter().zip(&b).map(|(x, y)| *x * alpha + *y).collect();
         fft(&mut combo);
         let mut fa = a.clone();
         fft(&mut fa);

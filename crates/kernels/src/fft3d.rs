@@ -123,7 +123,9 @@ impl Fft3Plan {
         let nx = self.plan_x.len() as f64;
         let ny = self.plan_y.len() as f64;
         let nz = self.plan_z.len() as f64;
-        ny * nz * self.plan_x.flops() + nx * nz * self.plan_y.flops() + nx * ny * self.plan_z.flops()
+        ny * nz * self.plan_x.flops()
+            + nx * nz * self.plan_y.flops()
+            + nx * ny * self.plan_z.flops()
     }
 }
 
@@ -177,7 +179,8 @@ mod tests {
         for k in 0..nz {
             for j in 0..ny {
                 for i in 0..nx {
-                    let phase = 2.0 * std::f64::consts::PI
+                    let phase = 2.0
+                        * std::f64::consts::PI
                         * (a as f64 * i as f64 / nx as f64
                             + b as f64 * j as f64 / ny as f64
                             + c as f64 * k as f64 / nz as f64);
@@ -207,8 +210,7 @@ mod tests {
         fill(&mut g);
         let e_time: f64 = g.data.iter().map(|z| z.norm_sqr()).sum();
         fft3(&mut g);
-        let e_freq: f64 =
-            g.data.iter().map(|z| z.norm_sqr()).sum::<f64>() / g.len() as f64;
+        let e_freq: f64 = g.data.iter().map(|z| z.norm_sqr()).sum::<f64>() / g.len() as f64;
         assert!((e_time - e_freq).abs() < 1e-8 * e_time.max(1.0));
     }
 

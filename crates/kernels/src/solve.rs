@@ -74,12 +74,7 @@ where
 ///
 /// `lower[0]` and `upper[n-1]` are ignored. Returns `None` when a pivot
 /// vanishes (system not diagonally dominant enough).
-pub fn thomas(
-    lower: &[f64],
-    diag: &[f64],
-    upper: &[f64],
-    rhs: &[f64],
-) -> Option<Vec<f64>> {
+pub fn thomas(lower: &[f64], diag: &[f64], upper: &[f64], rhs: &[f64]) -> Option<Vec<f64>> {
     let n = diag.len();
     assert_eq!(lower.len(), n);
     assert_eq!(upper.len(), n);

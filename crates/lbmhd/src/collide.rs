@@ -23,8 +23,6 @@
 //!
 //! whose first moment is the induction-equation flux `uB − Bu`.
 
-use rayon::prelude::*;
-
 use crate::lattice::{C, Q, W};
 use crate::state::Block;
 
@@ -106,7 +104,8 @@ pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
     // comes from x − cᵢ.
     let mut offs = [0isize; Q];
     for i in 0..Q {
-        offs[i] = -(C[i][0] as isize + (C[i][1] as isize) * px as isize
+        offs[i] = -(C[i][0] as isize
+            + (C[i][1] as isize) * px as isize
             + (C[i][2] as isize) * pxy as isize);
     }
 
@@ -116,15 +115,13 @@ pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
 
     // Parallelize over z-slabs (the OpenMP axis of the original code);
     // each (j,k) line runs the vectorizable x loop.
-    let lines: Vec<(usize, usize)> =
-        (0..nz).flat_map(|k| (0..ny).map(move |j| (j, k))).collect();
+    let lines: Vec<(usize, usize)> = (0..nz).flat_map(|k| (0..ny).map(move |j| (j, k))).collect();
 
     // Collect per-line updates, then write back. To keep the hot loop
     // allocation-free we process lines in parallel into freshly computed
     // rows and then commit serially per direction.
-    let rows: Vec<(usize, Vec<[f64; Q]>, Vec<[[f64; 3]; Q]>)> = lines
-        .par_iter()
-        .map(|&(j, k)| {
+    let rows: Vec<(usize, Vec<[f64; Q]>, Vec<[[f64; 3]; Q]>)> =
+        hec_core::pool::par_map(&lines, |&(j, k)| {
             let base = src.idx(1, j + 1, k + 1);
             let mut frow = vec![[0.0f64; Q]; nx];
             let mut grow = vec![[[0.0f64; 3]; Q]; nx];
@@ -162,8 +159,7 @@ pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
                 }
             }
             (base, frow, grow)
-        })
-        .collect();
+        });
 
     for (base, frow, grow) in rows {
         for i in 0..nx {

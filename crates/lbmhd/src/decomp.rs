@@ -57,7 +57,8 @@ impl CartRank {
     /// The communicator rank at `coords` (periodic).
     pub fn rank_of(&self, coords: [i64; 3]) -> usize {
         let w = |v: i64, n: usize| v.rem_euclid(n as i64) as usize;
-        let c = [w(coords[0], self.dims[0]), w(coords[1], self.dims[1]), w(coords[2], self.dims[2])];
+        let c =
+            [w(coords[0], self.dims[0]), w(coords[1], self.dims[1]), w(coords[2], self.dims[2])];
         c[0] + self.dims[0] * (c[1] + self.dims[1] * c[2])
     }
 
@@ -190,11 +191,7 @@ mod tests {
         let dims = [4, 3, 2];
         for r in 0..24 {
             let c = CartRank::new(r, dims);
-            let back = c.rank_of([
-                c.coords[0] as i64,
-                c.coords[1] as i64,
-                c.coords[2] as i64,
-            ]);
+            let back = c.rank_of([c.coords[0] as i64, c.coords[1] as i64, c.coords[2] as i64]);
             assert_eq!(back, r);
         }
     }
@@ -241,7 +238,8 @@ mod tests {
             }
         }
         unpack_face(&mut b2, 1, 2, &buf);
-        for (a, bb) in snapshot.f.iter().chain(snapshot.g.iter()).zip(b2.f.iter().chain(b2.g.iter()))
+        for (a, bb) in
+            snapshot.f.iter().chain(snapshot.g.iter()).zip(b2.f.iter().chain(b2.g.iter()))
         {
             assert_eq!(a, bb);
         }

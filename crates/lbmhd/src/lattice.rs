@@ -136,11 +136,10 @@ mod tests {
                 for c in 0..3 {
                     for d in 0..3 {
                         let s: f64 = (0..Q)
-                            .map(|i| {
-                                W[i] * (C[i][a] * C[i][b] * C[i][c] * C[i][d]) as f64
-                            })
+                            .map(|i| W[i] * (C[i][a] * C[i][b] * C[i][c] * C[i][d]) as f64)
                             .sum();
-                        let want = CS2 * CS2
+                        let want = CS2
+                            * CS2
                             * (delta(a, b) * delta(c, d)
                                 + delta(a, c) * delta(b, d)
                                 + delta(a, d) * delta(b, c));

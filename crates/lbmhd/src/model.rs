@@ -71,10 +71,7 @@ pub fn halo_bytes_per_step(n: usize, procs: usize) -> f64 {
         (local_extent(n, dims[0], 0), local_extent(n, dims[1], 0), local_extent(n, dims[2], 0));
     let face = |a: usize, b: usize| ((a + 2) * (b + 2)) as f64;
     let per_axis = [face(ly, lz), face(lx, lz), face(lx, ly)];
-    (0..3)
-        .filter(|&a| dims[a] > 1)
-        .map(|a| 2.0 * per_axis[a] * (4 * Q) as f64 * 8.0)
-        .sum()
+    (0..3).filter(|&a| dims[a] > 1).map(|a| 2.0 * per_axis[a] * (4 * Q) as f64 * 8.0).sum()
 }
 
 /// The (concurrency, grid size) pairs of paper Table 5.
@@ -113,11 +110,8 @@ mod tests {
         let n = 8;
         let procs = 4;
         let flops = msim::run(procs, move |comm| {
-            let mut sim = Simulation::new(
-                SimParams { n, ..Default::default() },
-                comm.rank(),
-                comm.size(),
-            );
+            let mut sim =
+                Simulation::new(SimParams { n, ..Default::default() }, comm.rank(), comm.size());
             sim.step(comm);
             sim.flops()
         })
@@ -132,8 +126,7 @@ mod tests {
         // per-rank point count across its configs stays within a factor ~4.
         let loads: Vec<f64> =
             TABLE5_CONFIGS.iter().map(|&(p, n)| workload(n, p).phases[0].flops).collect();
-        let (mn, mx) =
-            loads.iter().fold((f64::MAX, 0.0f64), |(a, b), &x| (a.min(x), b.max(x)));
+        let (mn, mx) = loads.iter().fold((f64::MAX, 0.0f64), |(a, b), &x| (a.min(x), b.max(x)));
         assert!(mx / mn < 8.0, "per-rank work varies too much: {loads:?}");
     }
 

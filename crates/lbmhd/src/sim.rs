@@ -131,8 +131,7 @@ impl Simulation {
                         d.momentum[a] += m.mom[a];
                         d.flux[a] += m.b[a];
                     }
-                    d.kinetic_energy +=
-                        0.5 * m.rho * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
+                    d.kinetic_energy += 0.5 * m.rho * (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]);
                     d.magnetic_energy +=
                         0.5 * (m.b[0] * m.b[0] + m.b[1] * m.b[1] + m.b[2] * m.b[2]);
                 }
@@ -170,9 +169,7 @@ impl Simulation {
     /// the quantity contoured in the paper's Figure 6.
     pub fn vorticity_z_plane(&self, k: usize) -> Vec<f64> {
         let (nx, ny) = (self.src.nx, self.src.ny);
-        let vel = |i: usize, j: usize| -> [f64; 3] {
-            self.src.moments(i, j, k).velocity()
-        };
+        let vel = |i: usize, j: usize| -> [f64; 3] { self.src.moments(i, j, k).velocity() };
         let mut out = vec![0.0; nx * ny];
         for j in 0..ny {
             for i in 0..nx {

@@ -136,10 +136,7 @@ impl Moments {
 /// Sets a block's distributions to the MHD equilibrium for the given
 /// macroscopic fields (interior points only; halos stay zero until the
 /// first exchange).
-pub fn set_equilibrium(
-    block: &mut Block,
-    mut fields: impl FnMut(usize, usize, usize) -> Moments,
-) {
+pub fn set_equilibrium(block: &mut Block, mut fields: impl FnMut(usize, usize, usize) -> Moments) {
     for k in 0..block.nz {
         for j in 0..block.ny {
             for i in 0..block.nx {
@@ -194,11 +191,7 @@ mod tests {
     #[test]
     fn totals_scale_with_volume() {
         let mut b = Block::zeros(4, 4, 4);
-        set_equilibrium(&mut b, |_, _, _| Moments {
-            rho: 2.0,
-            mom: [0.0; 3],
-            b: [0.1, 0.0, 0.0],
-        });
+        set_equilibrium(&mut b, |_, _, _| Moments { rho: 2.0, mom: [0.0; 3], b: [0.1, 0.0, 0.0] });
         let t = b.totals();
         assert!((t.rho - 2.0 * 64.0).abs() < 1e-9);
         assert!((t.b[0] - 0.1 * 64.0).abs() < 1e-9);

@@ -238,11 +238,8 @@ mod tests {
         for p in [1usize, 2, 4, 7] {
             for root in [0, p - 1] {
                 let out = run(p, move |c| {
-                    let mut data = if c.rank() == root {
-                        vec![3.25, -1.5, 42.0]
-                    } else {
-                        Vec::new()
-                    };
+                    let mut data =
+                        if c.rank() == root { vec![3.25, -1.5, 42.0] } else { Vec::new() };
                     c.bcast_f64(root, &mut data);
                     data
                 })

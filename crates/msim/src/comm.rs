@@ -11,7 +11,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use hec_core::sync::{Condvar, Mutex};
 
 use crate::traffic::TrafficMatrix;
 
@@ -64,7 +64,7 @@ impl Mailbox {
             if poisoned.load(Ordering::Acquire) {
                 panic!("peer rank panicked; aborting receive");
             }
-            self.cv.wait(&mut q);
+            q = self.cv.wait(q);
         }
     }
 
@@ -234,11 +234,8 @@ impl Comm {
             }
         }
         // My group, ordered by (key, parent rank).
-        let mut group: Vec<(u64, usize)> = entries
-            .iter()
-            .filter(|(c, _, _)| *c == color)
-            .map(|&(_, k, r)| (k, r))
-            .collect();
+        let mut group: Vec<(u64, usize)> =
+            entries.iter().filter(|(c, _, _)| *c == color).map(|&(_, k, r)| (k, r)).collect();
         group.sort_unstable();
         let members: Vec<usize> = group.iter().map(|&(_, r)| self.members[r]).collect();
         let new_rank = members
@@ -280,10 +277,7 @@ where
 }
 
 /// Like [`run`], but also returns the captured [`TrafficMatrix`].
-pub fn run_with_traffic<T, F>(
-    nprocs: usize,
-    f: F,
-) -> Result<(Vec<T>, Arc<TrafficMatrix>), RunError>
+pub fn run_with_traffic<T, F>(nprocs: usize, f: F) -> Result<(Vec<T>, Arc<TrafficMatrix>), RunError>
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
@@ -446,6 +440,25 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.failed_ranks, vec![1]);
+    }
+
+    #[test]
+    fn rank_panic_unblocks_receivers_into_run_error() {
+        // The poisoning path under the std Condvar mailbox: every other
+        // rank is parked in a receive that will never be satisfied when
+        // rank 1 dies. Poisoning must wake them all and convert the whole
+        // job into a clean RunError instead of a deadlock.
+        let err = run(4, |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+            // No one ever sends this message.
+            let _ = c.recv_f64((c.rank() + 1) % c.size(), 999);
+        })
+        .unwrap_err();
+        assert!(err.failed_ranks.contains(&1));
+        assert_eq!(err.failed_ranks.len(), 4, "blocked ranks must unwind too");
+        assert!(err.to_string().contains("panicked"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! records the same matrix (plus a log of collective operations) as a side
 //! effect of every `send`.
 
-use parking_lot::Mutex;
+use hec_core::sync::Mutex;
 
 /// Which collective produced a [`CollectiveRecord`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -166,9 +166,7 @@ mod tests {
         let s = GSphere::build(10, 10, 10, 4.5);
         let has = |gx: i64, gy: i64, gz: i64| {
             s.columns.iter().any(|c| {
-                signed_freq(c.gx, s.nx) == gx
-                    && signed_freq(c.gy, s.ny) == gy
-                    && c.gz.contains(&gz)
+                signed_freq(c.gx, s.nx) == gx && signed_freq(c.gy, s.ny) == gy && c.gz.contains(&gz)
             })
         };
         assert!(has(0, 0, 0));
@@ -185,10 +183,7 @@ mod tests {
             let loads: Vec<usize> = bins.iter().map(|b| s.local_ng(b)).collect();
             let (mn, mx) =
                 (*loads.iter().min().unwrap() as f64, *loads.iter().max().unwrap() as f64);
-            assert!(
-                mx / mn.max(1.0) < 1.25,
-                "nprocs={nprocs}: imbalance {loads:?}"
-            );
+            assert!(mx / mn.max(1.0) < 1.25, "nprocs={nprocs}: imbalance {loads:?}");
             // Every column assigned exactly once.
             let total: usize = loads.iter().sum();
             assert_eq!(total, s.ng);

@@ -94,7 +94,8 @@ impl DistFft {
 
         // Stage 1: scatter each column's sparse gz points onto a dense
         // z-line and inverse-FFT it (G→r along z).
-        let mut lines: Vec<(usize, usize, Vec<Complex64>)> = Vec::with_capacity(self.my_columns.len());
+        let mut lines: Vec<(usize, usize, Vec<Complex64>)> =
+            Vec::with_capacity(self.my_columns.len());
         let mut off = 0;
         for &ci in &self.my_columns {
             let col: &Column = &self.sphere.columns[ci];
@@ -123,8 +124,12 @@ impl DistFft {
                 }
             }
         }
-        self.transpose_bytes +=
-            send.iter().enumerate().filter(|(p, _)| *p != self.rank).map(|(_, b)| b.len() as u64 * 8).sum::<u64>();
+        self.transpose_bytes += send
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != self.rank)
+            .map(|(_, b)| b.len() as u64 * 8)
+            .sum::<u64>();
         let recv = comm.alltoall_f64(&send);
 
         // Unpack into the dense local slab.
@@ -136,8 +141,7 @@ impl DistFft {
             for rec in buf.chunks_exact(rec_len) {
                 let (gx, gy) = (rec[0] as usize, rec[1] as usize);
                 for z in 0..my_len {
-                    slab[gx + nx * (gy + ny * z)] =
-                        Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
+                    slab[gx + nx * (gy + ny * z)] = Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
                 }
             }
         }
@@ -208,8 +212,12 @@ impl DistFft {
                 }
             }
         }
-        self.transpose_bytes +=
-            send.iter().enumerate().filter(|(p, _)| *p != self.rank).map(|(_, b)| b.len() as u64 * 8).sum::<u64>();
+        self.transpose_bytes += send
+            .iter()
+            .enumerate()
+            .filter(|(p, _)| *p != self.rank)
+            .map(|(_, b)| b.len() as u64 * 8)
+            .sum::<u64>();
         let recv = comm.alltoall_f64(&send);
 
         // Reassemble each of my columns' dense z-lines.
@@ -338,8 +346,7 @@ mod tests {
         for (ci, col) in s.columns.iter().enumerate() {
             for (k, &gz) in col.gz.iter().enumerate() {
                 let t = (ci * 131 + k * 17) as f64 * 0.01;
-                *cube.get_mut(col.gx, col.gy, wrap_freq(gz, nz)) =
-                    Complex64::new(t.sin(), t.cos());
+                *cube.get_mut(col.gx, col.gy, wrap_freq(gz, nz)) = Complex64::new(t.sin(), t.cos());
             }
         }
         Fft3Plan::new(nx, ny, nz).execute(&mut cube, Direction::Inverse);

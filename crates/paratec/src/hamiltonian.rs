@@ -155,8 +155,7 @@ impl Hamiltonian {
             }
             // betaᴴ-style product: proj = conj(β) · ψᵀ, implemented as
             // zgemm(None) with conj applied through a scratch copy.
-            let beta_conj: Vec<Complex64> =
-                self.nonlocal.beta.iter().map(|z| z.conj()).collect();
+            let beta_conj: Vec<Complex64> = self.nonlocal.beta.iter().map(|z| z.conj()).collect();
             zgemm(
                 Trans::None,
                 npj,
@@ -211,20 +210,11 @@ impl Hamiltonian {
 
     /// Band energies ⟨ψ_b|H|ψ_b⟩ (assumes the block is orthonormal), as a
     /// globally reduced vector.
-    pub fn band_energies(
-        &mut self,
-        comm: &mut Comm,
-        psi: &[Complex64],
-        nbands: usize,
-    ) -> Vec<f64> {
+    pub fn band_energies(&mut self, comm: &mut Comm, psi: &[Complex64], nbands: usize) -> Vec<f64> {
         let ng = self.ng();
         let hpsi = self.apply(comm, psi, nbands);
         let mut e: Vec<f64> = (0..nbands)
-            .map(|b| {
-                (0..ng)
-                    .map(|g| (psi[b * ng + g].conj() * hpsi[b * ng + g]).re)
-                    .sum::<f64>()
-            })
+            .map(|b| (0..ng).map(|g| (psi[b * ng + g].conj() * hpsi[b * ng + g]).re).sum::<f64>())
             .collect();
         comm.allreduce_f64(ReduceOp::Sum, &mut e);
         e
@@ -280,14 +270,10 @@ mod tests {
             let hpsi = h.apply(comm, &psi, 1);
             let hphi = h.apply(comm, &phi, 1);
             let mut a = vec![0.0; 2];
-            let phipsi: Complex64 = (0..ng).map(|g| phi[g].conj() * hpsi[g]).fold(
-                Complex64::ZERO,
-                |acc, z| acc + z,
-            );
-            let psiphi: Complex64 = (0..ng).map(|g| psi[g].conj() * hphi[g]).fold(
-                Complex64::ZERO,
-                |acc, z| acc + z,
-            );
+            let phipsi: Complex64 =
+                (0..ng).map(|g| phi[g].conj() * hpsi[g]).fold(Complex64::ZERO, |acc, z| acc + z);
+            let psiphi: Complex64 =
+                (0..ng).map(|g| psi[g].conj() * hphi[g]).fold(Complex64::ZERO, |acc, z| acc + z);
             a[0] = phipsi.re - psiphi.re;
             a[1] = phipsi.im + psiphi.im;
             comm.allreduce_f64(ReduceOp::Sum, &mut a);

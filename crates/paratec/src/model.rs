@@ -87,10 +87,7 @@ pub fn workload(procs: usize) -> WorkloadProfile {
     let transposes = (NBANDS * 2.0 / FFT_BATCH).ceil();
     let bytes_per_rank_per_batch = FFT_BATCH * 16.0 * GRID_POINTS / p;
     for _ in 0..transposes as usize {
-        w.comm.push(CommEvent::Transpose {
-            bytes_per_rank: bytes_per_rank_per_batch,
-            procs: p,
-        });
+        w.comm.push(CommEvent::Transpose { bytes_per_rank: bytes_per_rank_per_batch, procs: p });
     }
     w.comm.push(CommEvent::Allreduce { bytes: 16.0 * NBANDS * NPROJ / 8.0, procs: p });
     w.comm.push(CommEvent::Allreduce { bytes: 16.0 * NBANDS * NBANDS / 8.0, procs: p });
@@ -149,11 +146,7 @@ mod tests {
     #[test]
     fn transpose_count_is_independent_of_p() {
         let count = |p: usize| {
-            workload(p)
-                .comm
-                .iter()
-                .filter(|e| matches!(e, CommEvent::Transpose { .. }))
-                .count()
+            workload(p).comm.iter().filter(|e| matches!(e, CommEvent::Transpose { .. })).count()
         };
         assert_eq!(count(64), count(2048));
     }
@@ -161,9 +154,8 @@ mod tests {
     #[test]
     fn gemm_dominates_but_ffts_are_significant() {
         let w = workload(256);
-        let f = |name: &str| {
-            w.phases.iter().find(|p| p.name.contains(name)).map(|p| p.flops).unwrap()
-        };
+        let f =
+            |name: &str| w.phases.iter().find(|p| p.name.contains(name)).map(|p| p.flops).unwrap();
         let (fft, gemm) = (f("FFT"), f("ZGEMM"));
         assert!(gemm > fft, "BLAS3 should dominate");
         assert!(fft / w.total_flops() > 0.05, "FFTs must stay significant");

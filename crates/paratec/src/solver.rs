@@ -119,11 +119,7 @@ pub fn minimize(
         let hpsi = h.apply(comm, psi, nbands);
         // Rayleigh quotients (orthonormal basis ⇒ diagonal of Ψᴴ H Ψ).
         let mut eps: Vec<f64> = (0..nbands)
-            .map(|b| {
-                (0..ng)
-                    .map(|g| (psi[b * ng + g].conj() * hpsi[b * ng + g]).re)
-                    .sum()
-            })
+            .map(|b| (0..ng).map(|g| (psi[b * ng + g].conj() * hpsi[b * ng + g]).re).sum())
             .collect();
         comm.allreduce_f64(ReduceOp::Sum, &mut eps);
         let e: f64 = eps.iter().sum();
@@ -152,11 +148,7 @@ pub fn minimize(
         orthonormalize(comm, psi, nbands, ng);
     }
     let band_energies = h.band_energies(comm, psi, nbands);
-    SolveStats {
-        energy_history: history,
-        band_energies,
-        iterations: iters,
-    }
+    SolveStats { energy_history: history, band_energies, iterations: iters }
 }
 
 /// Deterministic random-ish starting guess for `nbands` bands.
@@ -222,12 +214,7 @@ mod tests {
         let stats = run_minimize(2, 2, 1.0, 3, 12);
         for st in stats {
             for w in st.energy_history.windows(2) {
-                assert!(
-                    w[1] <= w[0] + 1e-9,
-                    "energy increased: {} -> {}",
-                    w[0],
-                    w[1]
-                );
+                assert!(w[1] <= w[0] + 1e-9, "energy increased: {} -> {}", w[0], w[1]);
             }
         }
     }
@@ -243,10 +230,7 @@ mod tests {
         sorted.sort_by(f64::total_cmp);
         assert!(sorted[0] < 0.05, "ground band {sorted:?}");
         for b in 1..4 {
-            assert!(
-                (sorted[b] - 0.5).abs() < 0.1,
-                "excited bands should sit near ½: {sorted:?}"
-            );
+            assert!((sorted[b] - 0.5).abs() < 0.1, "excited bands should sit near ½: {sorted:?}");
         }
     }
 
@@ -261,10 +245,7 @@ mod tests {
         let s2 = run_minimize(2, 2, 1.5, 3, 120);
         let e1: f64 = s1[0].band_energies.iter().sum();
         let e2: f64 = s2[0].band_energies.iter().sum();
-        assert!(
-            (e1 - e2).abs() < 0.1 * e1.abs().max(0.2),
-            "serial {e1} vs parallel {e2}"
-        );
+        assert!((e1 - e2).abs() < 0.1 * e1.abs().max(0.2), "serial {e1} vs parallel {e2}");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! *shape* holds: platform ordering, rough ratios, and where scaling rolls
 //! over.
 
+use hec_core::json::{FromJson, Json, JsonError, ToJson};
+
 /// Platform column order used by all the grids below.
 pub const PLATFORMS: [&str; 7] =
     ["Power3", "Itanium2", "Opteron", "X1 (MSP)", "X1 (4-SSP)", "ES", "SX-8"];
@@ -24,6 +26,39 @@ pub struct PaperRow {
 
 fn row(procs: usize, label: &str, g: [Option<f64>; 7]) -> PaperRow {
     PaperRow { procs, label: label.into(), gflops: g }
+}
+
+impl ToJson for PaperRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("procs", Json::Num(self.procs as f64)),
+            ("label", Json::Str(self.label.clone())),
+            // A missing cell ("—" in the paper) emits as null.
+            ("gflops", Json::Arr(self.gflops.iter().map(|g| g.to_json()).collect())),
+        ])
+    }
+}
+
+impl FromJson for PaperRow {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let cells =
+            v.field("gflops")?.as_arr().ok_or_else(|| JsonError::new("gflops must be an array"))?;
+        if cells.len() != 7 {
+            return Err(JsonError::new(format!("expected 7 gflops cells, got {}", cells.len())));
+        }
+        let mut gflops = [None; 7];
+        for (slot, cell) in gflops.iter_mut().zip(cells) {
+            *slot = match cell {
+                Json::Null => None,
+                other => Some(f64::from_json(other)?),
+            };
+        }
+        Ok(PaperRow {
+            procs: usize::from_json(v.field("procs")?)?,
+            label: v.str_field("label")?.to_string(),
+            gflops,
+        })
+    }
 }
 
 /// Paper Table 3 (FVCAM). Platform order here is
@@ -57,9 +92,21 @@ pub const FVCAM_PLATFORMS: [&str; 7] =
 pub fn table4() -> Vec<PaperRow> {
     let n = None;
     vec![
-        row(64, "100 p/c", [Some(0.14), Some(0.39), Some(0.59), Some(1.29), Some(1.12), Some(1.60), Some(2.39)]),
-        row(128, "200 p/c", [Some(0.14), Some(0.39), Some(0.59), Some(1.22), Some(1.00), Some(1.56), Some(2.28)]),
-        row(256, "400 p/c", [Some(0.14), Some(0.38), Some(0.57), Some(1.17), Some(0.92), Some(1.55), Some(2.32)]),
+        row(
+            64,
+            "100 p/c",
+            [Some(0.14), Some(0.39), Some(0.59), Some(1.29), Some(1.12), Some(1.60), Some(2.39)],
+        ),
+        row(
+            128,
+            "200 p/c",
+            [Some(0.14), Some(0.39), Some(0.59), Some(1.22), Some(1.00), Some(1.56), Some(2.28)],
+        ),
+        row(
+            256,
+            "400 p/c",
+            [Some(0.14), Some(0.38), Some(0.57), Some(1.17), Some(0.92), Some(1.55), Some(2.32)],
+        ),
         row(512, "800 p/c", [Some(0.14), Some(0.38), Some(0.51), n, n, Some(1.53), n]),
         row(1024, "1600 p/c", [Some(0.14), Some(0.37), n, n, n, Some(1.88), n]),
         row(2048, "3200 p/c", [Some(0.13), Some(0.37), n, n, n, Some(1.82), n]),
@@ -70,9 +117,21 @@ pub fn table4() -> Vec<PaperRow> {
 pub fn table5() -> Vec<PaperRow> {
     let n = None;
     vec![
-        row(16, "256^3", [Some(0.14), Some(0.26), Some(0.70), Some(5.19), n, Some(5.50), Some(7.89)]),
-        row(64, "256^3", [Some(0.15), Some(0.35), Some(0.68), Some(5.24), n, Some(5.25), Some(8.10)]),
-        row(256, "512^3", [Some(0.14), Some(0.32), Some(0.60), Some(5.26), Some(1.34), Some(5.45), Some(9.52)]),
+        row(
+            16,
+            "256^3",
+            [Some(0.14), Some(0.26), Some(0.70), Some(5.19), n, Some(5.50), Some(7.89)],
+        ),
+        row(
+            64,
+            "256^3",
+            [Some(0.15), Some(0.35), Some(0.68), Some(5.24), n, Some(5.25), Some(8.10)],
+        ),
+        row(
+            256,
+            "512^3",
+            [Some(0.14), Some(0.32), Some(0.60), Some(5.26), Some(1.34), Some(5.45), Some(9.52)],
+        ),
         row(512, "512^3", [Some(0.14), Some(0.35), Some(0.59), n, Some(1.34), Some(5.21), n]),
         row(1024, "1024^3", [n, n, n, n, Some(1.30), Some(5.44), n]),
         row(2048, "1024^3", [n, n, n, n, n, Some(5.41), n]),
@@ -100,8 +159,7 @@ pub fn ordering_agreement(ours: &[Option<f64>], paper: &[Option<f64>]) -> f64 {
     let mut agree = 0.0;
     for i in 0..ours.len() {
         for j in i + 1..ours.len() {
-            if let (Some(a1), Some(a2), Some(b1), Some(b2)) =
-                (ours[i], ours[j], paper[i], paper[j])
+            if let (Some(a1), Some(a2), Some(b1), Some(b2)) = (ours[i], ours[j], paper[i], paper[j])
             {
                 total += 1.0;
                 if ((a1 - a2) * (b1 - b2)) >= 0.0 {
@@ -180,5 +238,21 @@ mod tests {
         let b = [Some(1.0), Some(10.0)];
         assert!((typical_ratio(&a, &b) - 2.0).abs() < 1e-12);
         assert_eq!(typical_ratio(&[None], &[None]), 1.0);
+    }
+
+    #[test]
+    fn every_published_row_round_trips_through_json() {
+        for table in [table3(), table4(), table5(), table6()] {
+            for r in table {
+                let text = r.to_json().emit();
+                let back = PaperRow::from_json(&Json::parse(&text).unwrap()).unwrap();
+                assert_eq!(back.procs, r.procs);
+                assert_eq!(back.label, r.label);
+                assert_eq!(back.gflops, r.gflops);
+            }
+        }
+        // Wrong arity is rejected, not silently truncated.
+        let bad = Json::parse(r#"{"procs": 4, "label": "", "gflops": [1.0]}"#).unwrap();
+        assert!(PaperRow::from_json(&bad).is_err());
     }
 }

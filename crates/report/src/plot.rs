@@ -23,9 +23,9 @@ pub fn xy_chart(
     let pts: Vec<(f64, f64, char)> = series
         .iter()
         .flat_map(|s| {
-            s.points
-                .iter()
-                .filter_map(move |&(x, y)| y.map(|y| (x, if log_y { y.log10() } else { y }, s.marker)))
+            s.points.iter().filter_map(move |&(x, y)| {
+                y.map(|y| (x, if log_y { y.log10() } else { y }, s.marker))
+            })
         })
         .collect();
     if pts.is_empty() {
@@ -77,11 +77,7 @@ pub fn bar_chart(title: &str, bars: &[(String, f64)], width: usize) -> String {
     let mut out = format!("{title}\n");
     for (label, v) in bars {
         let n = ((v / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:<label_w$} |{} {v:.2}\n",
-            "#".repeat(n),
-            label_w = label_w
-        ));
+        out.push_str(&format!("{label:<label_w$} |{} {v:.2}\n", "#".repeat(n), label_w = label_w));
     }
     out
 }

@@ -12,7 +12,8 @@ fn main() {
     let steps = 3;
 
     let mut reference_mass = None;
-    for (label, pz, procs) in [("1D (8 bands)", 1usize, 8usize), ("2D (4 bands x 2 groups)", 2, 8)] {
+    for (label, pz, procs) in [("1D (8 bands)", 1usize, 8usize), ("2D (4 bands x 2 groups)", 2, 8)]
+    {
         let params = fvcam::FvParams { pz, ..base };
         let (masses, traffic) = msim::run_with_traffic(procs, move |comm| {
             let mut sim = fvcam::FvSim::new(params, comm.rank(), comm.size());

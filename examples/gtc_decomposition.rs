@@ -44,11 +44,7 @@ fn main() {
                 reference_charge = Some(charge);
                 0.0
             }
-            Some(r) => r
-                .iter()
-                .zip(&charge)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max),
+            Some(r) => r.iter().zip(&charge).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max),
         };
         println!(
             "npe = {npe}: {procs:>2} processes, step traffic {:>8.1} KB, \

@@ -44,7 +44,10 @@ fn main() {
     .expect("run failed");
 
     for (t, plane, d) in &snapshots[0] {
-        println!("t = {t}: kinetic energy {:.4e}, magnetic energy {:.4e}", d.kinetic_energy, d.magnetic_energy);
+        println!(
+            "t = {t}: kinetic energy {:.4e}, magnetic energy {:.4e}",
+            d.kinetic_energy, d.magnetic_energy
+        );
         println!("{}", render(plane, n, n));
     }
     println!(

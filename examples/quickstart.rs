@@ -42,8 +42,13 @@ fn main() {
     // configuration: who wins LBMHD at 256 processors on a 512^3 grid?
     println!("\n== Performance model: LBMHD3D, P=256, 512^3 (paper Table 5) ==");
     let w = lbmhd::model::workload(512, 256);
-    for id in [PlatformId::Power3, PlatformId::Opteron, PlatformId::X1Msp, PlatformId::Es, PlatformId::Sx8]
-    {
+    for id in [
+        PlatformId::Power3,
+        PlatformId::Opteron,
+        PlatformId::X1Msp,
+        PlatformId::Es,
+        PlatformId::Sx8,
+    ] {
         let p = Platform::get(id);
         let pred = predict(&p, &w);
         println!(

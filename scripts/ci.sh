@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Hermetic CI gate: everything runs offline against the lockfile (which
+# contains only workspace crates — see DESIGN.md §6).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo fmt --check
+
+echo "ci: ok"

@@ -6,7 +6,8 @@
 //!
 //! * applications: [`lbmhd`], [`gtc`], [`paratec`], [`fvcam`];
 //! * substrates: [`msim`] (simulated MPI), [`kernels`] (FFT/BLAS/solvers),
-//!   [`hec_net`] + [`hec_arch`] (interconnect and processor models);
+//!   [`hec_net`] + [`hec_arch`] (interconnect and processor models),
+//!   [`hec_core`] (std-only RNG/JSON/sync/thread-pool support);
 //! * reporting: [`report`].
 //!
 //! Start with `examples/quickstart.rs`, or regenerate the paper with
@@ -15,6 +16,7 @@
 pub use fvcam;
 pub use gtc;
 pub use hec_arch;
+pub use hec_core;
 pub use hec_net;
 pub use kernels;
 pub use lbmhd;

@@ -1,68 +1,163 @@
 //! Cross-crate property tests: invariants that span the runtime, the
 //! kernels, and the applications, checked over randomized inputs.
+//!
+//! Randomization uses `hec_core::Rng` with fixed seeds: every case is a
+//! plain `for` loop over derived seeds, so failures are reproducible from
+//! the printed seed without a shrinker.
 
+use hec_core::Rng;
+use kernels::blas::{dgemm, dgemm_reference};
 use kernels::fft::{dft_reference, Direction, FftPlan};
 use kernels::Complex64;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Number of randomized cases per property (matches the former proptest
+/// configuration).
+const CASES: u64 = 24;
 
-    /// FFT of arbitrary length (1–200) matches the O(n²) DFT.
-    #[test]
-    fn fft_matches_dft_for_arbitrary_lengths(
-        n in 1usize..200,
-        seed in 0u64..1000,
-    ) {
-        let input: Vec<Complex64> = (0..n)
-            .map(|i| {
-                let t = (i as f64 + 1.0) * (seed as f64 + 1.0) * 0.013;
-                Complex64::new(t.sin(), (t * 1.7).cos())
-            })
-            .collect();
+fn random_signal(rng: &mut Rng, n: usize) -> Vec<Complex64> {
+    (0..n).map(|_| Complex64::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0))).collect()
+}
+
+/// FFT of arbitrary length (1–200) matches the O(n²) DFT.
+#[test]
+fn fft_matches_dft_for_arbitrary_lengths() {
+    let mut rng = Rng::new(0xFF7_D0D);
+    for case in 0..CASES {
+        let n = 1 + rng.below(199) as usize;
+        let input = random_signal(&mut rng, n);
         let mut out = input.clone();
         FftPlan::new(n).execute(&mut out, Direction::Forward);
         let want = dft_reference(&input, Direction::Forward);
         for (a, b) in out.iter().zip(&want) {
-            prop_assert!((*a - *b).abs() < 1e-7 * (n as f64), "n={n}");
+            assert!((*a - *b).abs() < 1e-7 * (n as f64), "case {case}, n={n}");
         }
     }
+}
 
-    /// Allreduce over any rank count and payload equals the sequential fold.
-    #[test]
-    fn allreduce_equals_sequential_fold(
-        procs in 1usize..9,
-        len in 1usize..20,
-        seed in 0u64..100,
-    ) {
+/// Inverse(Forward(x)) returns x for arbitrary lengths and signals.
+#[test]
+fn fft_round_trip_is_identity() {
+    let mut rng = Rng::new(0x1D3A_77);
+    for case in 0..CASES {
+        let n = 1 + rng.below(300) as usize;
+        let input = random_signal(&mut rng, n);
+        let plan = FftPlan::new(n);
+        let mut data = input.clone();
+        plan.execute(&mut data, Direction::Forward);
+        plan.execute(&mut data, Direction::Inverse);
+        for (a, b) in data.iter().zip(&input) {
+            assert!((*a - *b).abs() < 1e-9 * (n as f64), "case {case}, n={n}");
+        }
+    }
+}
+
+/// Parseval: the forward transform preserves Σ|x|² up to the 1/n
+/// normalization convention (energy in frequency domain is n × energy in
+/// time domain for an unnormalized forward FFT).
+#[test]
+fn fft_satisfies_parseval() {
+    let mut rng = Rng::new(0x9A55E7A1);
+    for case in 0..CASES {
+        let n = 1 + rng.below(256) as usize;
+        let input = random_signal(&mut rng, n);
+        let mut out = input.clone();
+        FftPlan::new(n).execute(&mut out, Direction::Forward);
+        let time_energy: f64 = input.iter().map(|z| z.abs() * z.abs()).sum();
+        let freq_energy: f64 = out.iter().map(|z| z.abs() * z.abs()).sum();
+        let want = time_energy * n as f64;
+        assert!(
+            (freq_energy - want).abs() <= 1e-8 * want.max(1.0),
+            "case {case}, n={n}: {freq_energy} vs {want}"
+        );
+    }
+}
+
+/// FFT(αx + βy) = α·FFT(x) + β·FFT(y).
+#[test]
+fn fft_is_linear() {
+    let mut rng = Rng::new(0x11EA4);
+    for case in 0..CASES {
+        let n = 1 + rng.below(128) as usize;
+        let plan = FftPlan::new(n);
+        let x = random_signal(&mut rng, n);
+        let y = random_signal(&mut rng, n);
+        let alpha = Complex64::new(rng.range(-2.0, 2.0), rng.range(-2.0, 2.0));
+        let beta = Complex64::new(rng.range(-2.0, 2.0), rng.range(-2.0, 2.0));
+        let mut combined: Vec<Complex64> =
+            x.iter().zip(&y).map(|(a, b)| alpha * *a + beta * *b).collect();
+        plan.execute(&mut combined, Direction::Forward);
+        let mut fx = x.clone();
+        plan.execute(&mut fx, Direction::Forward);
+        let mut fy = y.clone();
+        plan.execute(&mut fy, Direction::Forward);
+        for i in 0..n {
+            let want = alpha * fx[i] + beta * fy[i];
+            assert!((combined[i] - want).abs() < 1e-8 * (n as f64), "case {case}, n={n}, bin {i}");
+        }
+    }
+}
+
+/// The blocked/unrolled dgemm agrees with the naive triple loop for
+/// arbitrary shapes, alpha/beta, and contents.
+#[test]
+fn dgemm_matches_reference() {
+    let mut rng = Rng::new(0xD6E33);
+    for case in 0..CASES {
+        let m = 1 + rng.below(24) as usize;
+        let n = 1 + rng.below(24) as usize;
+        let k = 1 + rng.below(24) as usize;
+        let alpha = rng.range(-2.0, 2.0);
+        let beta = if case % 3 == 0 { 0.0 } else { rng.range(-1.0, 1.0) };
+        let a: Vec<f64> = (0..m * k).map(|_| rng.range(-1.0, 1.0)).collect();
+        let b: Vec<f64> = (0..k * n).map(|_| rng.range(-1.0, 1.0)).collect();
+        let c0: Vec<f64> = (0..m * n).map(|_| rng.range(-1.0, 1.0)).collect();
+        let mut fast = c0.clone();
+        let mut slow = c0.clone();
+        dgemm(m, n, k, alpha, &a, &b, beta, &mut fast);
+        dgemm_reference(m, n, k, alpha, &a, &b, beta, &mut slow);
+        for (i, (x, y)) in fast.iter().zip(&slow).enumerate() {
+            assert!(
+                (x - y).abs() < 1e-11 * (k as f64),
+                "case {case}, ({m}x{n}x{k}) element {i}: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// Allreduce over any rank count and payload equals the sequential fold.
+#[test]
+fn allreduce_equals_sequential_fold() {
+    let mut rng = Rng::new(0xA11_4ED);
+    for case in 0..CASES {
+        let procs = 1 + rng.below(8) as usize;
+        let len = 1 + rng.below(19) as usize;
+        let seed = rng.below(100) as usize;
         let outs = msim::run(procs, move |comm| {
-            let mut v: Vec<f64> = (0..len)
-                .map(|i| ((comm.rank() * 31 + i * 7 + seed as usize) % 17) as f64)
-                .collect();
+            let mut v: Vec<f64> =
+                (0..len).map(|i| ((comm.rank() * 31 + i * 7 + seed) % 17) as f64).collect();
             comm.allreduce_f64(msim::ReduceOp::Sum, &mut v);
             v
         })
         .unwrap();
         let want: Vec<f64> = (0..len)
-            .map(|i| {
-                (0..procs)
-                    .map(|r| ((r * 31 + i * 7 + seed as usize) % 17) as f64)
-                    .sum()
-            })
+            .map(|i| (0..procs).map(|r| ((r * 31 + i * 7 + seed) % 17) as f64).sum())
             .collect();
         for out in outs {
-            prop_assert_eq!(&out, &want);
+            assert_eq!(out, want, "case {case}, procs={procs}, len={len}");
         }
     }
+}
 
-    /// The vertical remap conserves column mass for arbitrary monotone
-    /// destination edges.
-    #[test]
-    fn remap_conserves_mass_for_random_edges(
-        splits in proptest::collection::vec(0.05f64..1.0, 2..12),
-        values in proptest::collection::vec(-5.0f64..5.0, 6),
-    ) {
+/// The vertical remap conserves column mass for arbitrary monotone
+/// destination edges.
+#[test]
+fn remap_conserves_mass_for_random_edges() {
+    let mut rng = Rng::new(0x4E3A_9);
+    for case in 0..CASES {
         // Build a monotone destination edge set on [0, 1].
+        let nsplit = 2 + rng.below(10) as usize;
+        let splits: Vec<f64> = (0..nsplit).map(|_| rng.range(0.05, 1.0)).collect();
+        let values: Vec<f64> = (0..6).map(|_| rng.range(-5.0, 5.0)).collect();
         let total: f64 = splits.iter().sum();
         let mut dst = vec![0.0];
         let mut acc = 0.0;
@@ -79,56 +174,150 @@ proptest! {
             }
         }
         let n = dst.len() - 1;
-        if dst[n] <= dst[n - 1] { return Ok(()); }
+        if dst[n] <= dst[n - 1] {
+            continue;
+        }
 
         let src: Vec<f64> = (0..=6).map(|k| k as f64 / 6.0).collect();
         let out = fvcam::vertical::remap_column(&src, &values, &dst);
         let m_in = fvcam::vertical::column_mass(&src, &values);
         let m_out = fvcam::vertical::column_mass(&dst, &out);
-        prop_assert!((m_in - m_out).abs() < 1e-9, "{m_in} vs {m_out}");
+        assert!((m_in - m_out).abs() < 1e-9, "case {case}: {m_in} vs {m_out}");
     }
+}
 
-    /// LBMHD equilibrium moments are exact for arbitrary physical states.
-    #[test]
-    fn lbmhd_equilibrium_moments_exact(
-        rho in 0.5f64..2.0,
-        ux in -0.1f64..0.1,
-        uy in -0.1f64..0.1,
-        uz in -0.1f64..0.1,
-        bx in -0.2f64..0.2,
-        by in -0.2f64..0.2,
-        bz in -0.2f64..0.2,
-    ) {
-        let (feq, geq) = lbmhd::collide::equilibrium(rho, [ux, uy, uz], [bx, by, bz]);
+/// LBMHD equilibrium moments are exact for arbitrary physical states.
+#[test]
+fn lbmhd_equilibrium_moments_exact() {
+    let mut rng = Rng::new(0x1BE0);
+    for case in 0..CASES {
+        let rho = rng.range(0.5, 2.0);
+        let u = [rng.range(-0.1, 0.1), rng.range(-0.1, 0.1), rng.range(-0.1, 0.1)];
+        let b = [rng.range(-0.2, 0.2), rng.range(-0.2, 0.2), rng.range(-0.2, 0.2)];
+        let (feq, geq) = lbmhd::collide::equilibrium(rho, u, b);
         let s: f64 = feq.iter().sum();
-        prop_assert!((s - rho).abs() < 1e-12);
+        assert!((s - rho).abs() < 1e-12, "case {case}");
         for a in 0..3 {
-            let b: f64 = geq.iter().map(|g| g[a]).sum();
-            let want = [bx, by, bz][a];
-            prop_assert!((b - want).abs() < 1e-12);
+            let got: f64 = geq.iter().map(|g| g[a]).sum();
+            assert!((got - b[a]).abs() < 1e-12, "case {case}, component {a}");
+        }
+    }
+}
+
+/// With relaxation switched off (ω = 0) the fused collide+stream step is a
+/// pure upwind gather: under a periodic halo every per-direction interior
+/// multiset of values is exactly permuted, never changed.
+#[test]
+fn lbmhd_stream_is_a_permutation_when_collision_is_off() {
+    use lbmhd::lattice::Q;
+    use lbmhd::state::Block;
+
+    /// Fill the halo by periodic wrap from the block's own interior.
+    fn wrap_halo(b: &mut Block) {
+        let (px, py, pz) = (b.px(), b.py(), b.pz());
+        let (nx, ny, nz) = (b.nx, b.ny, b.nz);
+        let wrap = |v: usize, n: usize| -> usize {
+            if v == 0 {
+                n
+            } else if v == n + 1 {
+                1
+            } else {
+                v
+            }
+        };
+        for arr_ix in 0..(Q + Q * 3) {
+            for k in 0..pz {
+                for j in 0..py {
+                    for i in 0..px {
+                        let (wi, wj, wk) = (wrap(i, nx), wrap(j, ny), wrap(k, nz));
+                        if (wi, wj, wk) != (i, j, k) {
+                            let (s, d) = (wi + px * (wj + py * wk), i + px * (j + py * k));
+                            if arr_ix < Q {
+                                b.f[arr_ix][d] = b.f[arr_ix][s];
+                            } else {
+                                b.g[arr_ix - Q][d] = b.g[arr_ix - Q][s];
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 
-    /// GTC deposition conserves charge for arbitrary ensembles.
-    #[test]
-    fn gtc_deposition_conserves_charge(seed in 0u64..500, count in 10usize..200) {
-        let grid = gtc::geometry::PoloidalGrid {
-            mpsi: 10,
-            mtheta: 16,
-            r_inner: 0.1,
-            r_outer: 0.9,
-        };
-        let parts = gtc::particles::load_uniform(count, 0.15, 0.85, 0.0, 1.0, seed);
+    fn sorted_interior(b: &Block, arr: &[f64]) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..b.nz)
+            .flat_map(|k| {
+                (0..b.ny).flat_map(move |j| (0..b.nx).map(move |i| arr[b.interior_idx(i, j, k)]))
+            })
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    let mut rng = Rng::new(0x57E3A);
+    for case in 0..4 {
+        let n = 4 + case; // 4..8 per axis keeps this fast
+        let mut src = Block::zeros(n, n, n);
+        for q in 0..Q {
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        let ix = src.interior_idx(i, j, k);
+                        src.f[q][ix] = rng.range(-1.0, 1.0);
+                        for a in 0..3 {
+                            src.g[q * 3 + a][ix] = rng.range(-1.0, 1.0);
+                        }
+                    }
+                }
+            }
+        }
+        wrap_halo(&mut src);
+        let mut dst = Block::zeros(n, n, n);
+        let updated = lbmhd::collide::step(&src, &mut dst, 0.0, 0.0);
+        assert_eq!(updated, n * n * n);
+        for q in 0..Q {
+            assert_eq!(
+                sorted_interior(&src, &src.f[q]),
+                sorted_interior(&dst, &dst.f[q]),
+                "case {case}: f[{q}] multiset changed under pure streaming"
+            );
+            for a in 0..3 {
+                assert_eq!(
+                    sorted_interior(&src, &src.g[q * 3 + a]),
+                    sorted_interior(&dst, &dst.g[q * 3 + a]),
+                    "case {case}: g[{q}][{a}] multiset changed under pure streaming"
+                );
+            }
+        }
+    }
+}
+
+/// GTC deposition conserves charge for arbitrary ensembles.
+#[test]
+fn gtc_deposition_conserves_charge() {
+    let mut rng = Rng::new(0x67CDE9);
+    for case in 0..CASES {
+        let seed = rng.below(500);
+        let count = 10 + rng.below(190) as usize;
+        let grid = gtc::geometry::PoloidalGrid { mpsi: 10, mtheta: 16, r_inner: 0.1, r_outer: 0.9 };
+        let parts = gtc::particles::load_uniform(count, 0.15, 0.85, 0.0, 1.0, seed as u64);
         let mut charge: Vec<Vec<f64>> = (0..=3).map(|_| vec![0.0; grid.len()]).collect();
         gtc::deposit::deposit(&grid, &parts, &mut charge, 0.0, 1.0 / 3.0);
         let total: f64 = charge.iter().flatten().sum();
-        prop_assert!((total - parts.total_weight()).abs() < 1e-9 * parts.total_weight());
+        assert!(
+            (total - parts.total_weight()).abs() < 1e-9 * parts.total_weight(),
+            "case {case}, count={count}"
+        );
     }
+}
 
-    /// The performance model is monotone in peak rate: scaling a platform's
-    /// peak up never slows a compute-bound workload down.
-    #[test]
-    fn model_is_monotone_in_peak(scale in 1.0f64..4.0) {
+/// The performance model is monotone in peak rate: scaling a platform's
+/// peak up never slows a compute-bound workload down.
+#[test]
+fn model_is_monotone_in_peak() {
+    let mut rng = Rng::new(0x30DE1);
+    for case in 0..CASES {
+        let scale = rng.range(1.0, 4.0);
         let w = lbmhd::model::workload(64, 16);
         let base = hec_arch::Platform::get(hec_arch::PlatformId::Es);
         let mut faster = base;
@@ -136,13 +325,12 @@ proptest! {
         faster.stream_bw_gbps *= scale;
         let g0 = hec_arch::predict(&base, &w).gflops_per_proc;
         let g1 = hec_arch::predict(&faster, &w).gflops_per_proc;
-        prop_assert!(g1 >= g0 * 0.999);
+        assert!(g1 >= g0 * 0.999, "case {case}, scale={scale}");
     }
 }
 
 /// The sphere basis is inversion-symmetric and the balance covers it for
-/// arbitrary processor counts (plain test with a loop: cheaper than a
-/// proptest for this size).
+/// arbitrary processor counts.
 #[test]
 fn gsphere_balance_covers_for_many_proc_counts() {
     let s = paratec::basis::GSphere::build(10, 10, 10, 6.0);

@@ -75,10 +75,7 @@ fn two_d_total_volume_is_less_than_one_d() {
     let (m2, _) = capture(2);
     let v1: u64 = m1.iter().sum();
     let v2: u64 = m2.iter().sum();
-    assert!(
-        (v2 as f64) < (v1 as f64) * 1.05,
-        "2D volume {v2} should not exceed 1D volume {v1}"
-    );
+    assert!((v2 as f64) < (v1 as f64) * 1.05, "2D volume {v2} should not exceed 1D volume {v1}");
 }
 
 #[test]
@@ -87,11 +84,7 @@ fn traffic_matrix_is_symmetric_for_symmetric_algorithms() {
     let (m, p) = capture(2);
     for src in 0..p {
         for dst in 0..p {
-            assert_eq!(
-                m[src * p + dst],
-                m[dst * p + src],
-                "asymmetric traffic {src}<->{dst}"
-            );
+            assert_eq!(m[src * p + dst], m[dst * p + src], "asymmetric traffic {src}<->{dst}");
         }
     }
 }

@@ -43,13 +43,8 @@ fn headline_claims_hold() {
     // "the vector architectures attain unprecedented aggregate performance
     // across our application suite."
     let idx = |name: &str| paper::PLATFORMS.iter().position(|p| *p == name).unwrap();
-    let (es, sx8, power3, itanium2, opteron) = (
-        idx("ES"),
-        idx("SX-8"),
-        idx("Power3"),
-        idx("Itanium2"),
-        idx("Opteron"),
-    );
+    let (es, sx8, power3, itanium2, opteron) =
+        (idx("ES"), idx("SX-8"), idx("Power3"), idx("Itanium2"), idx("Opteron"));
     for rows in [experiments::gtc_rows(), experiments::lbmhd_rows()] {
         for r in &rows {
             let g = |i: usize| r.cells[i].map(|c| c.gflops).unwrap_or(0.0);
@@ -65,9 +60,7 @@ fn headline_claims_hold() {
 
     // "The SX-8 does achieve the highest per-processor performance for
     // LBMHD3D, GTC, and PARATEC."
-    for rows in
-        [experiments::lbmhd_rows(), experiments::gtc_rows(), experiments::paratec_rows()]
-    {
+    for rows in [experiments::lbmhd_rows(), experiments::gtc_rows(), experiments::paratec_rows()] {
         let r = &rows[0];
         let sx8_g = r.cells[sx8].unwrap().gflops;
         for (i, c) in r.cells.iter().enumerate() {
