@@ -215,7 +215,7 @@ pub fn fig2_traffic(pz: usize, scale: usize) -> (Vec<u64>, usize) {
     let nlat = 361 / scale.max(1);
     let nlev = 26;
     let ranks = 64;
-    let params = fvcam::FvParams { nlon, nlat, nlev, pz, courant: 0.3 };
+    let params = fvcam::FvParams { nlon, nlat, nlev, pz, courant: 0.3, ..Default::default() };
     let (_, traffic) = msim::run_with_traffic(ranks, move |comm| {
         let mut sim = fvcam::FvSim::new(params, comm.rank(), comm.size());
         // Capture a clean steady-state step, as IPM captures do.

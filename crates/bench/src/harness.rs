@@ -13,6 +13,7 @@
 use std::time::Instant;
 
 use hec_core::json::{Json, ToJson};
+use hec_core::pool::Threads;
 
 /// Untimed iterations before measurement starts.
 pub const WARMUP: usize = 3;
@@ -35,6 +36,12 @@ pub struct Sample {
     pub units: f64,
     /// What `units` counts, e.g. `"bytes"` or `"flops"`.
     pub unit_label: &'static str,
+    /// Shared-memory workers used, for scaling cases (`None` = untracked).
+    pub threads: Option<usize>,
+    /// Speedup over the 1-worker run of the same case.
+    pub speedup: Option<f64>,
+    /// `speedup / threads`: parallel efficiency in `[0, 1]` (ideally).
+    pub efficiency: Option<f64>,
 }
 
 impl Sample {
@@ -50,7 +57,7 @@ impl Sample {
 
 impl ToJson for Sample {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("iters", Json::Num(self.iters as f64)),
             ("median_ns", Json::Num(self.median_ns)),
@@ -58,7 +65,17 @@ impl ToJson for Sample {
             ("units", Json::Num(self.units)),
             ("unit_label", Json::Str(self.unit_label.to_string())),
             ("throughput_per_sec", Json::Num(self.throughput())),
-        ])
+        ];
+        if let Some(t) = self.threads {
+            fields.push(("threads", Json::Num(t as f64)));
+        }
+        if let Some(s) = self.speedup {
+            fields.push(("speedup", Json::Num(s)));
+        }
+        if let Some(e) = self.efficiency {
+            fields.push(("efficiency", Json::Num(e)));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -93,7 +110,43 @@ pub fn measure<F: FnMut()>(
         min_ns: times[0] as f64,
         units,
         unit_label,
+        threads: None,
+        speedup: None,
+        efficiency: None,
     }
+}
+
+/// Worker count for the threaded leg of a scaling pair: the environment's
+/// resolution (`HEC_THREADS` or available parallelism), but never 1 — on a
+/// single-core box we still exercise the parallel code path with 2 workers
+/// so the `threads`/`speedup` fields are always populated.
+pub fn scaling_workers() -> usize {
+    Threads::from_env().workers().max(2)
+}
+
+/// Measures `f` once with a forced-serial [`Threads`] handle and once with
+/// [`scaling_workers`] workers, returning the `name/t1` and `name/tN` pair
+/// with `threads`, `speedup`, and `efficiency` filled in.
+pub fn measure_scaling<F: FnMut(&Threads)>(
+    name: &str,
+    iters: usize,
+    units: f64,
+    unit_label: &'static str,
+    mut f: F,
+) -> Vec<Sample> {
+    let serial = Threads::serial();
+    let nw = scaling_workers();
+    let par = Threads::new(nw);
+    let mut s1 = measure(&format!("{name}/t1"), iters, units, unit_label, || f(&serial));
+    s1.threads = Some(1);
+    s1.speedup = Some(1.0);
+    s1.efficiency = Some(1.0);
+    let mut sn = measure(&format!("{name}/t{nw}"), iters, units, unit_label, || f(&par));
+    sn.threads = Some(nw);
+    let speedup = if sn.median_ns > 0.0 { s1.median_ns / sn.median_ns } else { f64::INFINITY };
+    sn.speedup = Some(speedup);
+    sn.efficiency = Some(speedup / nw as f64);
+    vec![s1, sn]
 }
 
 fn humanize_time(ns: f64) -> String {
@@ -122,8 +175,12 @@ fn print_samples(title: &str, samples: &[Sample]) {
     println!("== {title} ==");
     let width = samples.iter().map(|s| s.name.len()).max().unwrap_or(0).max(4);
     for s in samples {
+        let scaling = match (s.speedup, s.efficiency) {
+            (Some(sp), Some(eff)) => format!("  speedup {sp:>5.2}x  eff {:>3.0}%", eff * 100.0),
+            _ => String::new(),
+        };
         println!(
-            "  {:<width$}  median {:>10}  min {:>10}  {}",
+            "  {:<width$}  median {:>10}  min {:>10}  {}{scaling}",
             s.name,
             humanize_time(s.median_ns),
             humanize_time(s.min_ns),
@@ -147,9 +204,9 @@ fn write_json(path: &str, samples: &[Sample]) {
 /// Microkernel cases (STREAM triad, FFT, GEMM) — the former
 /// `kernels_bench`.
 pub fn kernel_samples(iters: usize) -> Vec<Sample> {
-    use kernels::blas::{dgemm, zgemm, Trans};
+    use kernels::blas::{par_dgemm, par_zgemm, Trans};
     use kernels::fft::{Direction, FftPlan};
-    use kernels::stream::triad;
+    use kernels::stream::triad_with;
     use kernels::Complex64;
 
     let mut out = Vec::new();
@@ -158,12 +215,17 @@ pub fn kernel_samples(iters: usize) -> Vec<Sample> {
         let b = vec![1.0f64; n];
         let c = vec![2.0f64; n];
         let mut a = vec![0.0f64; n];
-        out.push(measure(&format!("stream/triad_{n}"), iters, (n * 24) as f64, "B", || {
-            triad(std::hint::black_box(&mut a), &b, &c, 3.0)
-        }));
+        out.extend(measure_scaling(
+            &format!("stream/triad_{n}"),
+            iters,
+            (n * 24) as f64,
+            "B",
+            |t| triad_with(t, std::hint::black_box(&mut a), &b, &c, 3.0),
+        ));
     }
 
     // Power of two (radix-2) and the FVCAM longitude length (Bluestein).
+    // Single lines stay serial (one transform has no parallel axis).
     for &n in &[256usize, 576, 1024] {
         let plan = FftPlan::new(n);
         let mut data: Vec<Complex64> =
@@ -173,27 +235,50 @@ pub fn kernel_samples(iters: usize) -> Vec<Sample> {
         }));
     }
 
+    // A batch of lines threads across the batch axis.
+    {
+        let (n, count) = (256usize, 64usize);
+        let plan = FftPlan::new(n);
+        let mut data: Vec<Complex64> =
+            (0..n * count).map(|i| Complex64::new((i as f64).sin(), 0.1)).collect();
+        out.extend(measure_scaling(
+            &format!("fft/batch_{n}x{count}"),
+            iters,
+            (n * count) as f64,
+            "elem",
+            |t| {
+                plan.execute_batch_with(
+                    t,
+                    std::hint::black_box(&mut data),
+                    count,
+                    Direction::Forward,
+                )
+            },
+        ));
+    }
+
     for &n in &[64usize, 128] {
         let a = vec![1.5f64; n * n];
         let b = vec![0.5f64; n * n];
         let mut o = vec![0.0f64; n * n];
-        out.push(measure(
+        out.extend(measure_scaling(
             &format!("gemm/dgemm_{n}"),
             iters,
             (2 * n * n * n) as f64,
             "flop",
-            || dgemm(n, n, n, 1.0, &a, &b, 0.0, std::hint::black_box(&mut o)),
+            |t| par_dgemm(t, n, n, n, 1.0, &a, &b, 0.0, std::hint::black_box(&mut o)),
         ));
         let az = vec![Complex64::new(1.0, 0.5); n * n];
         let bz = vec![Complex64::new(0.5, -0.25); n * n];
         let mut oz = vec![Complex64::ZERO; n * n];
-        out.push(measure(
+        out.extend(measure_scaling(
             &format!("gemm/zgemm_{n}"),
             iters,
             (8 * n * n * n) as f64,
             "flop",
-            || {
-                zgemm(
+            |t| {
+                par_zgemm(
+                    t,
                     Trans::None,
                     n,
                     n,
@@ -216,7 +301,7 @@ pub fn app_samples(iters: usize) -> Vec<Sample> {
     let mut out = Vec::new();
 
     {
-        use lbmhd::collide::{step, FLOPS_PER_POINT};
+        use lbmhd::collide::{step_with, FLOPS_PER_POINT};
         use lbmhd::state::{set_equilibrium, Block, Moments};
         let n = 24;
         let mut src = Block::zeros(n, n, n);
@@ -226,41 +311,53 @@ pub fn app_samples(iters: usize) -> Vec<Sample> {
             b: [0.02, 0.01, -0.01],
         });
         let mut dst = Block::zeros(n, n, n);
-        out.push(measure(
+        out.extend(measure_scaling(
             "lbmhd/collide_stream_24cubed",
             iters,
             (n * n * n) as f64 * FLOPS_PER_POINT,
             "flop",
-            || {
-                step(std::hint::black_box(&src), &mut dst, 1.6, 1.2);
+            |t| {
+                step_with(t, std::hint::black_box(&src), &mut dst, 1.6, 1.2);
             },
         ));
     }
 
     {
-        use gtc::deposit::deposit;
+        use gtc::deposit::deposit_threaded;
         use gtc::geometry::PoloidalGrid;
         use gtc::particles::load_uniform;
-        use gtc::push::{gather, push};
+        use gtc::push::{gather_threaded, push_threaded};
         let grid = PoloidalGrid { mpsi: 32, mtheta: 64, r_inner: 0.1, r_outer: 0.9 };
         let parts = load_uniform(50_000, 0.15, 0.85, 0.0, 1.0, 7);
         let mut charge: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.0; grid.len()]).collect();
         let e: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.1; grid.len()]).collect();
-        out.push(measure("gtc/deposit_50k", iters, parts.len() as f64, "particle", || {
-            for plane in charge.iter_mut() {
-                plane.iter_mut().for_each(|v| *v = 0.0);
-            }
-            deposit(&grid, std::hint::black_box(&parts), &mut charge, 0.0, 0.5);
-        }));
+        out.extend(measure_scaling(
+            "gtc/deposit_50k",
+            iters,
+            parts.len() as f64,
+            "particle",
+            |t| {
+                for plane in charge.iter_mut() {
+                    plane.iter_mut().for_each(|v| *v = 0.0);
+                }
+                deposit_threaded(&grid, std::hint::black_box(&parts), &mut charge, 0.0, 0.5, t);
+            },
+        ));
         let mut p = parts.clone();
-        out.push(measure("gtc/gather_push_50k", iters, parts.len() as f64, "particle", || {
-            let f = gather(&grid, &p, &e, &e, 0.0, 0.5);
-            push(&grid, std::hint::black_box(&mut p), &f, 1e-4);
-        }));
+        out.extend(measure_scaling(
+            "gtc/gather_push_50k",
+            iters,
+            parts.len() as f64,
+            "particle",
+            |t| {
+                let f = gather_threaded(&grid, &p, &e, &e, 0.0, 0.5, t);
+                push_threaded(&grid, std::hint::black_box(&mut p), &f, 1e-4, t);
+            },
+        ));
     }
 
     {
-        use fvcam::advect::{advect_level, FLOPS_PER_CELL};
+        use fvcam::advect::{advect_level_with, FLOPS_PER_CELL};
         use fvcam::grid::{LevelBlock, SphereGrid};
         use fvcam::polar::PolarFilter;
         let grid = SphereGrid::new(144, 91, 1);
@@ -273,13 +370,13 @@ pub fn app_samples(iters: usize) -> Vec<Sample> {
                 *cx.get_mut(j as isize, i) = 0.3;
             }
         }
-        out.push(measure(
+        out.extend(measure_scaling(
             "fvcam/advect_level_144x91",
             iters,
             144.0 * 91.0 * FLOPS_PER_CELL,
             "flop",
-            || {
-                advect_level(&grid, std::hint::black_box(&mut q), &cx, &cy, 0);
+            |t| {
+                advect_level_with(t, &grid, std::hint::black_box(&mut q), &cx, &cy, 0);
             },
         ));
         let mut filter = PolarFilter::new(144);
@@ -289,15 +386,21 @@ pub fn app_samples(iters: usize) -> Vec<Sample> {
     }
 
     {
-        use kernels::fft3d::{fft3, Grid3};
+        use kernels::fft::Direction;
+        use kernels::fft3d::{Fft3Plan, Grid3};
         use kernels::Complex64;
         let mut grid = Grid3::zeros(32, 32, 32);
         for (i, v) in grid.data.iter_mut().enumerate() {
             *v = Complex64::new((i as f64 * 0.01).sin(), 0.0);
         }
-        out.push(measure("paratec/fft3_32cubed", iters, (32 * 32 * 32) as f64, "elem", || {
-            fft3(std::hint::black_box(&mut grid))
-        }));
+        let plan = Fft3Plan::new(32, 32, 32);
+        out.extend(measure_scaling(
+            "paratec/fft3_32cubed",
+            iters,
+            (32 * 32 * 32) as f64,
+            "elem",
+            |t| plan.execute_with(t, std::hint::black_box(&mut grid), Direction::Forward),
+        ));
     }
 
     out
@@ -385,19 +488,52 @@ mod tests {
             min_ns: 100.0,
             units: 10.0,
             unit_label: "elem",
+            threads: Some(4),
+            speedup: Some(3.2),
+            efficiency: Some(0.8),
         };
         let j = s.to_json();
         assert_eq!(j.str_field("name").unwrap(), "g/case");
         assert_eq!(j.num_field("median_ns").unwrap(), 200.0);
         assert_eq!(j.num_field("throughput_per_sec").unwrap(), 10.0 * 1e9 / 200.0);
+        assert_eq!(j.num_field("threads").unwrap(), 4.0);
+        assert_eq!(j.num_field("speedup").unwrap(), 3.2);
+        assert_eq!(j.num_field("efficiency").unwrap(), 0.8);
     }
 
     #[test]
     fn kernel_suite_runs_quickly_with_one_iteration() {
+        // 3 triad scaling pairs + 3 serial fft lines + 1 fft batch pair +
+        // 2 dgemm pairs + 2 zgemm pairs = 6 + 3 + 2 + 8 = 19 samples.
         let samples = kernel_samples(1);
-        assert_eq!(samples.len(), 10);
+        assert_eq!(samples.len(), 19);
         for s in &samples {
             assert!(s.median_ns >= 0.0, "{}", s.name);
         }
+        let scaled: Vec<_> = samples.iter().filter(|s| s.threads.is_some()).collect();
+        assert_eq!(scaled.len(), 16);
+        for s in scaled {
+            assert!(s.speedup.unwrap() > 0.0, "{}", s.name);
+            assert!(s.efficiency.unwrap() > 0.0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn measure_scaling_emits_a_serial_and_parallel_pair() {
+        let mut acc = vec![0.0f64; 4096];
+        let pair = measure_scaling("t/case", 3, 1.0, "op", |t| {
+            let res = t.par_map(&(0..acc.len()).collect::<Vec<_>>(), |&i| (i as f64).sqrt());
+            for (a, r) in acc.iter_mut().zip(res) {
+                *a += r;
+            }
+        });
+        std::hint::black_box(&acc);
+        assert_eq!(pair.len(), 2);
+        assert_eq!(pair[0].threads, Some(1));
+        assert!(pair[0].name.ends_with("/t1"));
+        let nw = pair[1].threads.unwrap();
+        assert!(nw >= 2, "parallel leg must use at least 2 workers");
+        assert!(pair[1].name.ends_with(&format!("/t{nw}")));
+        assert_eq!(pair[1].efficiency.unwrap(), pair[1].speedup.unwrap() / nw as f64);
     }
 }

@@ -8,6 +8,7 @@
 //! latitude loops inward and pre-computing branch conditions.
 
 use crate::grid::{LevelBlock, SphereGrid};
+use hec_core::pool::Threads;
 
 /// Flops per flux evaluation, audited from `flux_1d` below: upwind select
 /// (2), van Leer slope (6), limiter (3), flux assembly (4).
@@ -49,29 +50,35 @@ fn flux_1d(qmm: f64, q0: f64, q1: f64, qpp: f64, c: f64) -> f64 {
 /// Returns the number of interior cells updated. Halo rows are untouched —
 /// callers must refresh them before the meridional pass.
 pub fn advect_zonal(q: &mut LevelBlock, cx: &LevelBlock) -> usize {
+    advect_zonal_with(&Threads::serial(), q, cx)
+}
+
+/// [`advect_zonal`] with the latitude lines split across workers — the
+/// paper's line-parallel structure: a zonal flux row depends only on its
+/// own latitude line, so every row is an independent task and the result
+/// is **bitwise identical** to the serial pass for any worker count.
+pub fn advect_zonal_with(threads: &Threads, q: &mut LevelBlock, cx: &LevelBlock) -> usize {
     assert!(q.halo >= 2, "advection needs 2 halo rows");
     let nlon = q.nlon;
     let nlat = q.nlat;
-    let mut fx = vec![0.0; nlon + 1];
-    for j in 0..nlat as isize {
-        {
-            let row = q.row(j);
-            let crow = cx.row(j);
-            for i in 0..=nlon {
-                let im2 = (i + nlon - 2) % nlon;
-                let im1 = (i + nlon - 1) % nlon;
-                let i0 = i % nlon;
-                let ip1 = (i + 1) % nlon;
-                // Courant number at the west face of cell i.
-                let c = 0.5 * (crow[im1] + crow[i0]);
-                fx[i] = flux_1d(row[im2], row[im1], row[i0], row[ip1], c);
-            }
+    let halo = q.halo;
+    let interior = &mut q.data[halo * nlon..(halo + nlat) * nlon];
+    threads.par_chunks_mut(interior, nlon, |j, row| {
+        let crow = cx.row(j as isize);
+        let mut fx = vec![0.0; nlon + 1];
+        for i in 0..=nlon {
+            let im2 = (i + nlon - 2) % nlon;
+            let im1 = (i + nlon - 1) % nlon;
+            let i0 = i % nlon;
+            let ip1 = (i + 1) % nlon;
+            // Courant number at the west face of cell i.
+            let c = 0.5 * (crow[im1] + crow[i0]);
+            fx[i] = flux_1d(row[im2], row[im1], row[i0], row[ip1], c);
         }
-        let row = q.row_mut(j);
         for i in 0..nlon {
             row[i] -= fx[i + 1] - fx[i];
         }
-    }
+    });
     nlat * nlon
 }
 
@@ -85,11 +92,27 @@ pub fn advect_meridional(
     cy: &LevelBlock,
     lat0: usize,
 ) -> usize {
+    advect_meridional_with(&Threads::serial(), grid, q, cy, lat0)
+}
+
+/// [`advect_meridional`] with the latitude lines split across workers.
+/// Interface fluxes are computed first from the frozen field (each
+/// interface row an independent task), then interior rows update from
+/// the flux table — both phases write disjoint rows, so the result is
+/// **bitwise identical** to the serial pass for any worker count.
+pub fn advect_meridional_with(
+    threads: &Threads,
+    grid: &SphereGrid,
+    q: &mut LevelBlock,
+    cy: &LevelBlock,
+    lat0: usize,
+) -> usize {
     assert!(q.halo >= 2, "advection needs 2 halo rows");
     let nlon = q.nlon;
     let nlat = q.nlat;
-    let mut fy = vec![vec![0.0; nlon]; nlat + 1];
-    for j in 0..=nlat {
+    let faces: Vec<usize> = (0..=nlat).collect();
+    let q_ref = &*q;
+    let fy: Vec<Vec<f64>> = threads.par_map(&faces, |&j| {
         let jj = j as isize; // interface between rows j-1 and j
         let glob = lat0 + j; // global index of the row north of the face
                              // Face weight: average of adjacent row weights; poles are closed.
@@ -98,20 +121,28 @@ pub fn advect_meridional(
         } else {
             0.5 * (grid.coslat[glob - 1] + grid.coslat[glob])
         };
-        for i in 0..nlon {
+        let mut frow = vec![0.0; nlon];
+        for (i, f) in frow.iter_mut().enumerate() {
             let c = 0.5 * (cy.get(jj - 1, i) + cy.get(jj, i));
-            fy[j][i] = w_face
-                * flux_1d(q.get(jj - 2, i), q.get(jj - 1, i), q.get(jj, i), q.get(jj + 1, i), c);
+            *f = w_face
+                * flux_1d(
+                    q_ref.get(jj - 2, i),
+                    q_ref.get(jj - 1, i),
+                    q_ref.get(jj, i),
+                    q_ref.get(jj + 1, i),
+                    c,
+                );
         }
-    }
-    for j in 0..nlat {
-        let glob = lat0 + j;
-        let w_cell = grid.coslat[glob];
-        let jj = j as isize;
-        for i in 0..nlon {
-            *q.get_mut(jj, i) -= (fy[j + 1][i] - fy[j][i]) / w_cell;
+        frow
+    });
+    let halo = q.halo;
+    let interior = &mut q.data[halo * nlon..(halo + nlat) * nlon];
+    threads.par_chunks_mut(interior, nlon, |j, row| {
+        let w_cell = grid.coslat[lat0 + j];
+        for (i, v) in row.iter_mut().enumerate() {
+            *v -= (fy[j + 1][i] - fy[j][i]) / w_cell;
         }
-    }
+    });
     nlat * nlon
 }
 
@@ -128,6 +159,19 @@ pub fn advect_level(
 ) -> usize {
     advect_zonal(q, cx);
     advect_meridional(grid, q, cy, lat0)
+}
+
+/// [`advect_level`] with both passes line-parallel.
+pub fn advect_level_with(
+    threads: &Threads,
+    grid: &SphereGrid,
+    q: &mut LevelBlock,
+    cx: &LevelBlock,
+    cy: &LevelBlock,
+    lat0: usize,
+) -> usize {
+    advect_zonal_with(threads, q, cx);
+    advect_meridional_with(threads, grid, q, cy, lat0)
 }
 
 /// Total tracer mass (area-weighted sum) of a block's interior rows.
@@ -288,5 +332,26 @@ mod tests {
     #[test]
     fn flux_flop_constant_is_positive() {
         assert!(FLOPS_PER_CELL > 30.0 && FLOPS_PER_CELL < 100.0);
+    }
+
+    #[test]
+    fn threaded_advection_is_bitwise_serial() {
+        let (grid, mut q, mut cx, mut cy) = setup(48, 37);
+        for j in -2..39isize {
+            for i in 0..48 {
+                *q.get_mut(j, i) = ((i * 7 + (j + 2) as usize * 3) % 13) as f64 * 0.21;
+                *cx.get_mut(j, i) = (((i + (j + 2) as usize) % 5) as f64 - 2.0) * 0.1;
+                *cy.get_mut(j, i) = (((2 * i + (j + 2) as usize) % 7) as f64 - 3.0) * 0.07;
+            }
+        }
+        let mut serial = q.clone();
+        advect_level(&grid, &mut serial, &cx, &cy, 0);
+        for workers in [1usize, 2, 4] {
+            let mut par = q.clone();
+            advect_level_with(&Threads::new(workers), &grid, &mut par, &cx, &cy, 0);
+            for (a, b) in serial.data.iter().zip(&par.data) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
     }
 }

@@ -185,7 +185,8 @@ mod tests {
     #[test]
     fn halo_bytes_match_instrumented_run() {
         // The analytic halo volume must equal what the real mini-app sent.
-        let params = FvParams { nlon: 24, nlat: 19, nlev: 8, pz: 2, courant: 0.2 };
+        let params =
+            FvParams { nlon: 24, nlat: 19, nlev: 8, pz: 2, courant: 0.2, ..Default::default() };
         let grid = SphereGrid::new(params.nlon, params.nlat, params.nlev);
         let measured = msim::run(4, move |comm| {
             let mut sim = FvSim::new(params, comm.rank(), comm.size());

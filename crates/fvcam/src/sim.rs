@@ -14,9 +14,10 @@
 //!    of a physics package (exponentials, divisions), optionally load
 //!    imbalanced the way day/night radiation is.
 
+use hec_core::pool::Threads;
 use msim::Comm;
 
-use crate::advect::{advect_meridional, advect_zonal, block_mass, FLOPS_PER_CELL};
+use crate::advect::{advect_meridional_with, advect_zonal_with, block_mass, FLOPS_PER_CELL};
 use crate::decomp::{exchange_lat_halos, transpose_to_columns, transpose_to_levels, Decomp};
 use crate::grid::{LevelBlock, SphereGrid};
 use crate::polar::PolarFilter;
@@ -40,11 +41,14 @@ pub struct FvParams {
     pub pz: usize,
     /// Solid-body rotation Courant number at the equator.
     pub courant: f64,
+    /// Shared-memory workers per rank (`0` = resolve from `HEC_THREADS` or
+    /// the machine's available parallelism).
+    pub threads: usize,
 }
 
 impl Default for FvParams {
     fn default() -> Self {
-        FvParams { nlon: 24, nlat: 19, nlev: 8, pz: 1, courant: 0.3 }
+        FvParams { nlon: 24, nlat: 19, nlev: 8, pz: 1, courant: 0.3, threads: 0 }
     }
 }
 
@@ -84,6 +88,8 @@ pub struct FvSim {
     /// Meridional Courant numbers.
     pub cy: Vec<LevelBlock>,
     filter: PolarFilter,
+    /// Shared-memory worker handle used by the advection passes.
+    pub threads: Threads,
     /// Instrumentation counters.
     pub counters: FvCounters,
     step_index: u64,
@@ -133,6 +139,7 @@ impl FvSim {
 
         FvSim {
             filter: PolarFilter::new(grid.nlon),
+            threads: Threads::from_config(params.threads),
             params,
             grid,
             decomp,
@@ -173,15 +180,20 @@ impl FvSim {
             exchange_lat_halos(comm, &self.decomp, &mut self.cy, self.rank, tag + 2) as u64;
         let nlev_loc = self.q.len();
         for k in 0..nlev_loc {
-            advect_zonal(&mut self.q[k], &self.cx[k]);
+            advect_zonal_with(&self.threads, &mut self.q[k], &self.cx[k]);
         }
         // The meridional pass reads neighbor rows, which the zonal pass
         // just changed — refresh the halos in between.
         self.counters.halo_bytes +=
             exchange_lat_halos(comm, &self.decomp, &mut self.q, self.rank, tag + 6) as u64;
         for k in 0..nlev_loc {
-            self.counters.cells_advected +=
-                advect_meridional(&self.grid, &mut self.q[k], &self.cy[k], self.lat0) as u64;
+            self.counters.cells_advected += advect_meridional_with(
+                &self.threads,
+                &self.grid,
+                &mut self.q[k],
+                &self.cy[k],
+                self.lat0,
+            ) as u64;
             self.counters.rows_filtered +=
                 self.filter.apply(&self.grid, &mut self.q[k], self.lat0) as u64;
         }
@@ -307,7 +319,7 @@ mod tests {
     fn parallel_matches_serial_evolution() {
         // Same physics: the full field after N steps must agree between 1
         // rank and a 2D decomposition, to round-off.
-        let params = FvParams { nlon: 16, nlat: 13, nlev: 4, pz: 1, courant: 0.3 };
+        let params = FvParams { nlon: 16, nlat: 13, nlev: 4, courant: 0.3, ..Default::default() };
         let serial = msim::run(1, move |comm| {
             let mut sim = FvSim::new(params, comm.rank(), comm.size());
             sim.run(comm, 2);
@@ -350,7 +362,7 @@ mod tests {
 
     #[test]
     fn bell_moves_eastward_under_solid_body_rotation() {
-        let params = FvParams { nlon: 32, nlat: 17, nlev: 2, pz: 1, courant: 0.5 };
+        let params = FvParams { nlon: 32, nlat: 17, nlev: 2, courant: 0.5, ..Default::default() };
         let centroids = msim::run(1, move |comm| {
             let mut sim = FvSim::new(params, comm.rank(), comm.size());
             let centroid = |sim: &FvSim| -> f64 {
@@ -400,7 +412,8 @@ mod tests {
 
     #[test]
     fn two_d_decomposition_transposes_data() {
-        let params = FvParams { nlon: 16, nlat: 13, nlev: 8, pz: 2, courant: 0.2 };
+        let params =
+            FvParams { nlon: 16, nlat: 13, nlev: 8, pz: 2, courant: 0.2, ..Default::default() };
         msim::run(4, move |comm| {
             let mut sim = FvSim::new(params, comm.rank(), comm.size());
             sim.run(comm, 1);

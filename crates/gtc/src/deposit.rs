@@ -17,10 +17,22 @@
 
 use crate::geometry::PoloidalGrid;
 use crate::particles::Particles;
+use hec_core::pool::Threads;
 
 /// Grid updates per marker: 4 gyro-ring points × 4 bilinear corners ×
 /// 2 toroidal planes.
 pub const SCATTER_POINTS: usize = 32;
+
+/// Particles per private-grid chunk in [`deposit_threaded`]. The chunking
+/// depends only on the particle count — never on the worker count — so
+/// the fixed-order reduction gives bitwise-identical charge for any
+/// `HEC_THREADS`.
+pub const DEPOSIT_CHUNK: usize = 1024;
+
+/// Cap on private grid copies: with enormous particle counts the chunks
+/// grow instead of multiplying, bounding the replica memory the paper
+/// flags as the work-vector method's cost.
+const MAX_CHUNKS: usize = 64;
 
 /// Flops per marker for deposition, audited from the kernel below: 4 ring
 /// positions (4 adds + 4 trig ≈ 12) + per ring point: locate (6) + corner
@@ -41,8 +53,23 @@ pub fn deposit(
     zeta_lo: f64,
     dzeta: f64,
 ) -> usize {
+    deposit_range(grid, particles, 0, particles.len(), charge, zeta_lo, dzeta);
+    particles.len()
+}
+
+/// Deposits markers `lo..hi` — the scatter body shared by the serial,
+/// work-vector, and threaded paths.
+fn deposit_range(
+    grid: &PoloidalGrid,
+    particles: &Particles,
+    lo: usize,
+    hi: usize,
+    charge: &mut [Vec<f64>],
+    zeta_lo: f64,
+    dzeta: f64,
+) {
     let mzeta = charge.len() - 1; // last slot is the ghost plane
-    for p in 0..particles.len() {
+    for p in lo..hi {
         let fz = ((particles.zeta[p] - zeta_lo) / dzeta).clamp(0.0, mzeta as f64 - 1e-12);
         let z = (fz as usize).min(mzeta - 1);
         let wz = fz - z as f64;
@@ -70,7 +97,62 @@ pub fn deposit(
             }
         }
     }
-    particles.len()
+}
+
+/// The work-vector method made literal for threads: particles are split
+/// into fixed-size chunks ([`DEPOSIT_CHUNK`], grown past [`MAX_CHUNKS`]
+/// copies), each chunk scatters into a private copy of the charge grid
+/// (conflict-free — no two chunks touch the same memory), and the copies
+/// are reduced into `charge` in chunk order.
+///
+/// Determinism: the decomposition and the reduction order depend only on
+/// the particle count, so the result is **bitwise identical for any
+/// worker count** — including forced-serial. When the particles fit one
+/// chunk the private copy is skipped and this *is* the serial
+/// [`deposit`], bit for bit. Across the one-chunk/many-chunk boundary the
+/// sums differ only by association (≤ 1 ulp per addend); the sim's
+/// conservation tolerances absorb that.
+///
+/// Returns the number of markers deposited.
+pub fn deposit_threaded(
+    grid: &PoloidalGrid,
+    particles: &Particles,
+    charge: &mut [Vec<f64>],
+    zeta_lo: f64,
+    dzeta: f64,
+    threads: &Threads,
+) -> usize {
+    let n = particles.len();
+    let chunk = DEPOSIT_CHUNK.max(n.div_ceil(MAX_CHUNKS));
+    if n <= chunk {
+        return deposit(grid, particles, charge, zeta_lo, dzeta);
+    }
+    let planes = charge.len();
+    let plane_len = charge[0].len();
+    let nchunks = n.div_ceil(chunk);
+    let tasks: Vec<_> = (0..nchunks)
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            move || {
+                let mut private: Vec<Vec<f64>> =
+                    (0..planes).map(|_| vec![0.0; plane_len]).collect();
+                deposit_range(grid, particles, lo, hi, &mut private, zeta_lo, dzeta);
+                private
+            }
+        })
+        .collect();
+    let partials = threads.par_tasks(tasks);
+    // Fixed-order reduction: chunk 0, then 1, ... regardless of which
+    // worker produced which partial.
+    for part in &partials {
+        for (z, plane) in part.iter().enumerate() {
+            for (dst, src) in charge[z].iter_mut().zip(plane) {
+                *dst += *src;
+            }
+        }
+    }
+    n
 }
 
 /// Work-vector deposition: scatters into `replicas` private grid copies
@@ -188,5 +270,41 @@ mod tests {
     #[test]
     fn scatter_points_constant_is_consistent() {
         assert_eq!(SCATTER_POINTS, 4 * 4 * 2);
+    }
+
+    #[test]
+    fn threaded_deposit_is_bitwise_invariant_across_worker_counts() {
+        let g = grid();
+        // Enough markers to force several private-grid chunks.
+        let parts = load_uniform(3 * DEPOSIT_CHUNK + 17, 0.15, 0.85, 0.0, 1.0, 21);
+        let mut reference = empty_planes(&g, 3);
+        deposit_threaded(&g, &parts, &mut reference, 0.0, 1.0 / 3.0, &Threads::serial());
+        for workers in [2usize, 3, 4, 8] {
+            let mut charge = empty_planes(&g, 3);
+            deposit_threaded(&g, &parts, &mut charge, 0.0, 1.0 / 3.0, &Threads::new(workers));
+            for (a, b) in reference.iter().flatten().zip(charge.iter().flatten()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
+        // And the chunked sum agrees with the classic serial scatter to
+        // round-off (association differs, values don't).
+        let mut serial = empty_planes(&g, 3);
+        deposit(&g, &parts, &mut serial, 0.0, 1.0 / 3.0);
+        for (a, b) in serial.iter().flatten().zip(reference.iter().flatten()) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn threaded_deposit_is_exactly_serial_below_one_chunk() {
+        let g = grid();
+        let parts = load_uniform(DEPOSIT_CHUNK / 2, 0.15, 0.85, 0.0, 1.0, 7);
+        let mut serial = empty_planes(&g, 2);
+        deposit(&g, &parts, &mut serial, 0.0, 0.5);
+        let mut threaded = empty_planes(&g, 2);
+        deposit_threaded(&g, &parts, &mut threaded, 0.0, 0.5, &Threads::new(4));
+        for (a, b) in serial.iter().flatten().zip(threaded.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

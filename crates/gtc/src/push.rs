@@ -16,6 +16,7 @@
 
 use crate::geometry::{safety_factor, PoloidalGrid};
 use crate::particles::Particles;
+use hec_core::pool::Threads;
 
 /// Background gradient drive for the δf weight equation.
 pub const KAPPA: f64 = 2.0;
@@ -50,10 +51,30 @@ pub fn gather(
     zeta_lo: f64,
     dzeta: f64,
 ) -> GatheredField {
-    let mzeta = e_r.len() - 1;
     let n = particles.len();
     let mut out = GatheredField { e_r: vec![0.0; n], e_theta: vec![0.0; n] };
-    for p in 0..n {
+    gather_range(grid, particles, 0, e_r, e_theta, zeta_lo, dzeta, &mut out.e_r, &mut out.e_theta);
+    out
+}
+
+/// Gathers markers `lo..lo + out_r.len()` into the output slices (local
+/// index 0 = marker `lo`) — the read stencil shared by the serial and
+/// threaded paths.
+#[allow(clippy::too_many_arguments)]
+fn gather_range(
+    grid: &PoloidalGrid,
+    particles: &Particles,
+    lo: usize,
+    e_r: &[Vec<f64>],
+    e_theta: &[Vec<f64>],
+    zeta_lo: f64,
+    dzeta: f64,
+    out_r: &mut [f64],
+    out_t: &mut [f64],
+) {
+    let mzeta = e_r.len() - 1;
+    for local in 0..out_r.len() {
+        let p = lo + local;
         let fz = ((particles.zeta[p] - zeta_lo) / dzeta).clamp(0.0, mzeta as f64 - 1e-12);
         let z = (fz as usize).min(mzeta - 1);
         let wz = fz - z as f64;
@@ -79,9 +100,40 @@ pub fn gather(
                 acc_t += w * blend_t;
             }
         }
-        out.e_r[p] = acc_r * 0.25;
-        out.e_theta[p] = acc_t * 0.25;
+        out_r[local] = acc_r * 0.25;
+        out_t[local] = acc_t * 0.25;
     }
+}
+
+/// [`gather`] with the markers split across workers. Every marker's
+/// field is an independent pure read, and each worker writes a disjoint
+/// range of the output, so the result is **bitwise identical** to the
+/// serial gather for any worker count.
+pub fn gather_threaded(
+    grid: &PoloidalGrid,
+    particles: &Particles,
+    e_r: &[Vec<f64>],
+    e_theta: &[Vec<f64>],
+    zeta_lo: f64,
+    dzeta: f64,
+    threads: &Threads,
+) -> GatheredField {
+    let n = particles.len();
+    let chunk = n.div_ceil(threads.workers()).max(1);
+    if chunk >= n {
+        return gather(grid, particles, e_r, e_theta, zeta_lo, dzeta);
+    }
+    let mut out = GatheredField { e_r: vec![0.0; n], e_theta: vec![0.0; n] };
+    let tasks: Vec<_> = out
+        .e_r
+        .chunks_mut(chunk)
+        .zip(out.e_theta.chunks_mut(chunk))
+        .enumerate()
+        .map(|(c, (gr, gt))| {
+            move || gather_range(grid, particles, c * chunk, e_r, e_theta, zeta_lo, dzeta, gr, gt)
+        })
+        .collect();
+    threads.par_tasks(tasks);
     out
 }
 
@@ -106,13 +158,33 @@ pub fn push(
     dt: f64,
 ) -> usize {
     let n = particles.len();
+    let Particles { r, theta, zeta, v_par, weight, .. } = particles;
+    push_range(grid, r, theta, zeta, weight, v_par, &field.e_r, &field.e_theta, dt);
+    n
+}
+
+/// RK2 update of one slice of markers: all slices are equal-length views
+/// at the same particle offset. This is the per-marker arithmetic shared
+/// by the serial and threaded paths.
+#[allow(clippy::too_many_arguments)]
+fn push_range(
+    grid: &PoloidalGrid,
+    r: &mut [f64],
+    theta: &mut [f64],
+    zeta: &mut [f64],
+    weight: &mut [f64],
+    v_par: &[f64],
+    e_r: &[f64],
+    e_theta: &[f64],
+    dt: f64,
+) {
     let tau = std::f64::consts::TAU;
-    for p in 0..n {
-        let (er, et) = (field.e_r[p], field.e_theta[p]);
-        let r0 = particles.r[p];
-        let k1 = derivs(r0, particles.v_par[p], er, et);
+    for p in 0..r.len() {
+        let (er, et) = (e_r[p], e_theta[p]);
+        let r0 = r[p];
+        let k1 = derivs(r0, v_par[p], er, et);
         let r_mid = r0 + 0.5 * dt * k1[0];
-        let k2 = derivs(r_mid, particles.v_par[p], er, et);
+        let k2 = derivs(r_mid, v_par[p], er, et);
         let mut r_new = r0 + dt * k2[0];
         // Reflect at the annulus walls.
         if r_new < grid.r_inner {
@@ -120,11 +192,46 @@ pub fn push(
         } else if r_new > grid.r_outer {
             r_new = 2.0 * grid.r_outer - r_new;
         }
-        particles.r[p] = r_new.clamp(grid.r_inner, grid.r_outer);
-        particles.theta[p] = (particles.theta[p] + dt * k2[1]).rem_euclid(tau);
-        particles.zeta[p] = (particles.zeta[p] + dt * k2[2]).rem_euclid(tau);
-        particles.weight[p] += dt * k2[3];
+        r[p] = r_new.clamp(grid.r_inner, grid.r_outer);
+        theta[p] = (theta[p] + dt * k2[1]).rem_euclid(tau);
+        zeta[p] = (zeta[p] + dt * k2[2]).rem_euclid(tau);
+        weight[p] += dt * k2[3];
     }
+}
+
+/// [`push`] with the markers split across workers. Each worker owns a
+/// disjoint range of every mutated attribute array, and no marker reads
+/// another's state, so the result is **bitwise identical** to the serial
+/// push for any worker count.
+pub fn push_threaded(
+    grid: &PoloidalGrid,
+    particles: &mut Particles,
+    field: &GatheredField,
+    dt: f64,
+    threads: &Threads,
+) -> usize {
+    let n = particles.len();
+    let chunk = n.div_ceil(threads.workers()).max(1);
+    if chunk >= n {
+        return push(grid, particles, field, dt);
+    }
+    let Particles { r, theta, zeta, v_par, weight, .. } = particles;
+    let tasks: Vec<_> = r
+        .chunks_mut(chunk)
+        .zip(theta.chunks_mut(chunk))
+        .zip(zeta.chunks_mut(chunk))
+        .zip(weight.chunks_mut(chunk))
+        .enumerate()
+        .map(|(c, (((cr, ct), cz), cw))| {
+            let lo = c * chunk;
+            let hi = lo + cr.len();
+            let vp = &v_par[lo..hi];
+            let er = &field.e_r[lo..hi];
+            let et = &field.e_theta[lo..hi];
+            move || push_range(grid, cr, ct, cz, cw, vp, er, et, dt)
+        })
+        .collect();
+    threads.par_tasks(tasks);
     n
 }
 
@@ -229,5 +336,36 @@ mod tests {
         let f = gather(&g, &parts, &er, &et, 0.0, 0.5);
         assert!(f.e_r[0] > 0.0, "marker must see the spike");
         assert!(f.e_r[0] <= 1.0);
+    }
+
+    #[test]
+    fn threaded_gather_and_push_are_bitwise_serial() {
+        let g = grid();
+        let parts = load_uniform(501, 0.15, 0.85, 0.0, 1.0, 11);
+        // A structured (non-uniform) field so the gather actually blends.
+        let er: Vec<Vec<f64>> =
+            (0..=2).map(|z| (0..g.len()).map(|i| (z * 7 + i) as f64 * 1e-3).collect()).collect();
+        let et: Vec<Vec<f64>> = (0..=2)
+            .map(|z| (0..g.len()).map(|i| ((i * 3) % 17) as f64 * 1e-3 - z as f64).collect())
+            .collect();
+        let f_serial = gather(&g, &parts, &er, &et, 0.0, 0.5);
+        let mut p_serial = parts.clone();
+        push(&g, &mut p_serial, &f_serial, 0.02);
+        for workers in [1usize, 2, 4] {
+            let t = Threads::new(workers);
+            let f = gather_threaded(&g, &parts, &er, &et, 0.0, 0.5, &t);
+            for p in 0..parts.len() {
+                assert_eq!(f.e_r[p].to_bits(), f_serial.e_r[p].to_bits(), "workers={workers}");
+                assert_eq!(f.e_theta[p].to_bits(), f_serial.e_theta[p].to_bits());
+            }
+            let mut pp = parts.clone();
+            push_threaded(&g, &mut pp, &f, 0.02, &t);
+            for p in 0..parts.len() {
+                assert_eq!(pp.r[p].to_bits(), p_serial.r[p].to_bits(), "workers={workers}");
+                assert_eq!(pp.theta[p].to_bits(), p_serial.theta[p].to_bits());
+                assert_eq!(pp.zeta[p].to_bits(), p_serial.zeta[p].to_bits());
+                assert_eq!(pp.weight[p].to_bits(), p_serial.weight[p].to_bits());
+            }
+        }
     }
 }

@@ -13,13 +13,16 @@
 //! GTC does), and markers that cross wedge boundaries are shifted to the
 //! matching process of the neighbor wedge.
 
+use hec_core::pool::Threads;
 use msim::{Comm, ReduceOp};
 
-use crate::deposit::{deposit, FLOPS_PER_PARTICLE as DEPOSIT_FLOPS};
+use crate::deposit::{deposit_threaded, FLOPS_PER_PARTICLE as DEPOSIT_FLOPS};
 use crate::geometry::{Fields, PoloidalGrid};
 use crate::particles::{load_uniform, Particles, ATTRS};
 use crate::poisson::solve_plane;
-use crate::push::{escapees, gather, push, GATHER_FLOPS_PER_PARTICLE, PUSH_FLOPS_PER_PARTICLE};
+use crate::push::{
+    escapees, gather_threaded, push_threaded, GATHER_FLOPS_PER_PARTICLE, PUSH_FLOPS_PER_PARTICLE,
+};
 
 /// Parameters of a GTC run.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +41,9 @@ pub struct GtcParams {
     pub dt: f64,
     /// RNG seed base.
     pub seed: u64,
+    /// Shared-memory workers per process (0 = auto: `HEC_THREADS` or the
+    /// machine). Every threaded kernel is bitwise invariant in this.
+    pub threads: usize,
 }
 
 impl Default for GtcParams {
@@ -50,6 +56,7 @@ impl Default for GtcParams {
             particles_per_domain: 2000,
             dt: 0.02,
             seed: 1000,
+            threads: 0,
         }
     }
 }
@@ -89,6 +96,8 @@ pub struct GtcSim {
     pub fields: Fields,
     /// Sub-communicator of the domain (particle decomposition).
     sub: Comm,
+    /// Shared-memory worker handle for the hot kernels.
+    pub threads: Threads,
     /// Instrumentation.
     pub counters: GtcCounters,
 }
@@ -146,6 +155,7 @@ impl GtcSim {
             particles,
             fields,
             sub,
+            threads: Threads::from_config(params.threads),
             counters: GtcCounters::default(),
         }
     }
@@ -169,10 +179,18 @@ impl GtcSim {
         let mzeta = self.fields.mzeta;
         let plane_len = grid.len();
 
-        // --- Charge deposition (scatter) into mzeta planes + ghost.
+        // --- Charge deposition (scatter) into mzeta planes + ghost:
+        // the work-vector method across threads (private grid copies,
+        // fixed-order reduction — bitwise invariant in the worker count).
         let mut charge: Vec<Vec<f64>> = (0..=mzeta).map(|_| vec![0.0; plane_len]).collect();
-        self.counters.deposited +=
-            deposit(&grid, &self.particles, &mut charge, self.zeta_lo, self.dzeta()) as u64;
+        self.counters.deposited += deposit_threaded(
+            &grid,
+            &self.particles,
+            &mut charge,
+            self.zeta_lo,
+            self.dzeta(),
+            &self.threads,
+        ) as u64;
 
         // --- Merge charge over the particle decomposition (the Allreduce
         // the paper's new algorithm introduces).
@@ -202,11 +220,23 @@ impl GtcSim {
         self.fields.charge = charge;
 
         // --- Poisson solve on each local plane (redundant within the
-        // domain, as in real GTC).
-        for z in 0..mzeta {
-            let mut phi = std::mem::take(&mut self.fields.phi[z]);
-            let res = solve_plane(&grid, &self.fields.charge[z], &mut phi, 1e-8);
-            self.counters.cg_iterations += res.iterations as u64;
+        // domain, as in real GTC). The planes are independent, so they
+        // run as one task each; each solve is the unchanged serial CG.
+        let phis: Vec<Vec<f64>> = self.fields.phi[..mzeta].iter_mut().map(std::mem::take).collect();
+        let charge_planes = &self.fields.charge;
+        let results = self.threads.par_tasks(
+            phis.into_iter()
+                .enumerate()
+                .map(|(z, mut phi)| {
+                    move || {
+                        let res = solve_plane(&grid, &charge_planes[z], &mut phi, 1e-8);
+                        (phi, res.iterations)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        for (z, (phi, iters)) in results.into_iter().enumerate() {
+            self.counters.cg_iterations += iters as u64;
             self.fields.phi[z] = phi;
         }
 
@@ -228,9 +258,17 @@ impl GtcSim {
         er_planes.push(ghost_er);
         let mut et_planes: Vec<Vec<f64>> = self.fields.e_theta[..mzeta].to_vec();
         et_planes.push(ghost_et);
-        let field =
-            gather(&grid, &self.particles, &er_planes, &et_planes, self.zeta_lo, self.dzeta());
-        self.counters.pushed += push(&grid, &mut self.particles, &field, self.params.dt) as u64;
+        let field = gather_threaded(
+            &grid,
+            &self.particles,
+            &er_planes,
+            &et_planes,
+            self.zeta_lo,
+            self.dzeta(),
+            &self.threads,
+        );
+        self.counters.pushed +=
+            push_threaded(&grid, &mut self.particles, &field, self.params.dt, &self.threads) as u64;
 
         // --- Shift escaped markers to the toroidal neighbors.
         self.shift(world);
@@ -402,6 +440,50 @@ mod tests {
         for (f1, f2) in f {
             assert!(f1 > 0.0);
             assert!(f2 > 1.5 * f1, "second step should add comparable flops");
+        }
+    }
+
+    #[test]
+    fn simulation_is_bitwise_identical_across_hec_threads() {
+        // Determinism regression guard: the whole PIC loop — threaded
+        // deposit, Poisson planes, gather, push — must produce
+        // byte-for-byte identical state at HEC_THREADS=1 and =4.
+        // particles_per_domain is chosen to force multiple private-grid
+        // chunks in the threaded deposit.
+        let params = GtcParams {
+            ndomains: 2,
+            mzeta_total: 4,
+            particles_per_domain: 2500,
+            threads: 0, // auto: resolves from HEC_THREADS below
+            ..Default::default()
+        };
+        let run_at = |threads: &str| {
+            std::env::set_var("HEC_THREADS", threads);
+            msim::run(2, move |world| {
+                let mut sim = GtcSim::new(params, world);
+                sim.run(world, 3);
+                let mut bits: Vec<u64> = Vec::new();
+                for v in [
+                    &sim.particles.r,
+                    &sim.particles.theta,
+                    &sim.particles.zeta,
+                    &sim.particles.weight,
+                ] {
+                    bits.extend(v.iter().map(|x| x.to_bits()));
+                }
+                for plane in sim.fields.charge.iter().chain(sim.fields.phi.iter()) {
+                    bits.extend(plane.iter().map(|x| x.to_bits()));
+                }
+                bits
+            })
+            .unwrap()
+        };
+        let serial = run_at("1");
+        let threaded = run_at("4");
+        std::env::remove_var("HEC_THREADS");
+        assert_eq!(serial.len(), threaded.len());
+        for (rank, (a, b)) in serial.iter().zip(&threaded).enumerate() {
+            assert_eq!(a, b, "rank {rank} state diverged between 1 and 4 threads");
         }
     }
 

@@ -8,6 +8,7 @@
 //! architectural model consumes.
 
 use crate::complex::Complex64;
+use hec_core::pool::Threads;
 
 /// Cache block edge for the tiled matrix kernels.
 const BLOCK: usize = 48;
@@ -31,20 +32,40 @@ pub fn dgemm(
     assert_eq!(a.len(), m * k, "A dimension mismatch");
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    dgemm_rows(0, n, k, alpha, a, b, beta, c);
+}
+
+/// The blocked GEMM body on a band of C rows starting at global row
+/// `row0`. For any fixed row, the per-element update order over
+/// `(p0, j0, p)` is independent of how rows are banded, so splitting C
+/// into row bands — at any boundaries — is bitwise identical to the
+/// full serial kernel.
+#[allow(clippy::too_many_arguments)]
+fn dgemm_rows(
+    row0: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    let rows = c.len() / n.max(1);
     if beta != 1.0 {
         for x in c.iter_mut() {
             *x *= beta;
         }
     }
-    for i0 in (0..m).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(m);
+    for i0 in (0..rows).step_by(BLOCK) {
+        let imax = (i0 + BLOCK).min(rows);
         for p0 in (0..k).step_by(BLOCK) {
             let pmax = (p0 + BLOCK).min(k);
             for j0 in (0..n).step_by(BLOCK) {
                 let jmax = (j0 + BLOCK).min(n);
                 for i in i0..imax {
                     for p in p0..pmax {
-                        let aip = alpha * a[i * k + p];
+                        let aip = alpha * a[(row0 + i) * k + p];
                         if aip == 0.0 {
                             continue;
                         }
@@ -58,6 +79,34 @@ pub fn dgemm(
             }
         }
     }
+}
+
+/// [`dgemm`] with C's rows banded across workers. Each worker owns a
+/// disjoint band of output rows and runs the unchanged blocked kernel on
+/// it, so the result is **bitwise identical** to serial [`dgemm`] for
+/// any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn par_dgemm(
+    threads: &Threads,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    b: &[f64],
+    beta: f64,
+    c: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "A dimension mismatch");
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    assert_eq!(c.len(), m * n, "C dimension mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let band = m.div_ceil(threads.workers()).max(1);
+    threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
+        dgemm_rows(band_idx * band, n, k, alpha, a, b, beta, c_band);
+    });
 }
 
 /// `C ← alpha · op(A)·op(B) + beta · C` for row-major complex matrices with
@@ -90,6 +139,27 @@ pub fn zgemm(
     }
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    zgemm_rows(ta, 0, m, n, k, alpha, a, b, beta, c);
+}
+
+/// The blocked complex GEMM body on a band of C rows starting at global
+/// row `row0` of an `m×n` product (A indexing needs the global `m` for
+/// the conjugate-transpose layout). Bitwise identical to the full serial
+/// kernel for any row banding — see [`dgemm_rows`].
+#[allow(clippy::too_many_arguments)]
+fn zgemm_rows(
+    ta: Trans,
+    row0: usize,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex64,
+    a: &[Complex64],
+    b: &[Complex64],
+    beta: Complex64,
+    c: &mut [Complex64],
+) {
+    let rows = c.len() / n.max(1);
     if beta != Complex64::ONE {
         for x in c.iter_mut() {
             *x = *x * beta;
@@ -97,12 +167,12 @@ pub fn zgemm(
     }
     let fetch_a = |i: usize, p: usize| -> Complex64 {
         match ta {
-            Trans::None => a[i * k + p],
-            Trans::ConjTrans => a[p * m + i].conj(),
+            Trans::None => a[(row0 + i) * k + p],
+            Trans::ConjTrans => a[p * m + row0 + i].conj(),
         }
     };
-    for i0 in (0..m).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(m);
+    for i0 in (0..rows).step_by(BLOCK) {
+        let imax = (i0 + BLOCK).min(rows);
         for p0 in (0..k).step_by(BLOCK) {
             let pmax = (p0 + BLOCK).min(k);
             for j0 in (0..n).step_by(BLOCK) {
@@ -120,6 +190,37 @@ pub fn zgemm(
             }
         }
     }
+}
+
+/// [`zgemm`] with C's rows banded across workers — disjoint output
+/// bands, so **bitwise identical** to serial [`zgemm`] for any worker
+/// count.
+#[allow(clippy::too_many_arguments)]
+pub fn par_zgemm(
+    threads: &Threads,
+    ta: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex64,
+    a: &[Complex64],
+    b: &[Complex64],
+    beta: Complex64,
+    c: &mut [Complex64],
+) {
+    match ta {
+        Trans::None => assert_eq!(a.len(), m * k, "A dimension mismatch"),
+        Trans::ConjTrans => assert_eq!(a.len(), k * m, "A dimension mismatch"),
+    }
+    assert_eq!(b.len(), k * n, "B dimension mismatch");
+    assert_eq!(c.len(), m * n, "C dimension mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+    let band = m.div_ceil(threads.workers()).max(1);
+    threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
+        zgemm_rows(ta, band_idx * band, m, n, k, alpha, a, b, beta, c_band);
+    });
 }
 
 /// Naive reference GEMM used by the tests and property checks.
@@ -295,5 +396,53 @@ mod tests {
     fn flop_counters() {
         assert_eq!(dgemm_flops(2, 3, 4), 48.0);
         assert_eq!(zgemm_flops(2, 3, 4), 192.0);
+    }
+
+    #[test]
+    fn par_dgemm_is_bitwise_serial() {
+        for &(m, n, k) in &[(1, 1, 1), (7, 5, 3), (97, 53, 61), (128, 64, 96)] {
+            let a = mat(m, k, |i, j| ((i * 13 + j * 7) % 23) as f64 * 0.37 - 2.1);
+            let b = mat(k, n, |i, j| ((i * 5 + j * 11) % 19) as f64 * 0.23 - 1.3);
+            let c0 = mat(m, n, |i, j| (i as f64 - j as f64) * 0.11);
+            let mut serial = c0.clone();
+            dgemm(m, n, k, 1.7, &a, &b, 0.6, &mut serial);
+            for workers in [1usize, 2, 4] {
+                let mut par = c0.clone();
+                par_dgemm(&Threads::new(workers), m, n, k, 1.7, &a, &b, 0.6, &mut par);
+                for (x, y) in serial.iter().zip(&par) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m},{n},{k}) workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_zgemm_is_bitwise_serial_both_transposes() {
+        let (m, n, k) = (61, 33, 47);
+        let mk: Vec<Complex64> = (0..m * k)
+            .map(|i| Complex64::new((i % 17) as f64 * 0.3, (i % 11) as f64 * -0.2))
+            .collect();
+        let km: Vec<Complex64> = (0..k * m)
+            .map(|i| Complex64::new((i % 13) as f64 * 0.25, (i % 7) as f64 * 0.4))
+            .collect();
+        let b: Vec<Complex64> = (0..k * n)
+            .map(|i| Complex64::new((i % 9) as f64 * -0.15, (i % 5) as f64 * 0.6))
+            .collect();
+        let c0: Vec<Complex64> =
+            (0..m * n).map(|i| Complex64::new(i as f64 * 1e-3, -(i as f64) * 2e-3)).collect();
+        let alpha = Complex64::new(0.8, -0.3);
+        let beta = Complex64::new(0.2, 0.1);
+        for (ta, a) in [(Trans::None, &mk), (Trans::ConjTrans, &km)] {
+            let mut serial = c0.clone();
+            zgemm(ta, m, n, k, alpha, a, &b, beta, &mut serial);
+            for workers in [2usize, 3, 4] {
+                let mut par = c0.clone();
+                par_zgemm(&Threads::new(workers), ta, m, n, k, alpha, a, &b, beta, &mut par);
+                for (x, y) in serial.iter().zip(&par) {
+                    assert_eq!(x.re.to_bits(), y.re.to_bits(), "{ta:?} workers={workers}");
+                    assert_eq!(x.im.to_bits(), y.im.to_bits(), "{ta:?} workers={workers}");
+                }
+            }
+        }
     }
 }

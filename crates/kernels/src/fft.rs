@@ -132,6 +132,25 @@ impl FftPlan {
         }
     }
 
+    /// [`FftPlan::execute_batch`] with the lines split across workers —
+    /// the paper's "parallelize across the FFTs, not within one"
+    /// strategy. Each line transforms independently in its own slice, so
+    /// the result is **bitwise identical** to the serial batch for any
+    /// worker count.
+    pub fn execute_batch_with(
+        &self,
+        threads: &hec_core::pool::Threads,
+        data: &mut [Complex64],
+        count: usize,
+        dir: Direction,
+    ) {
+        assert_eq!(data.len(), self.n * count, "batch buffer length mismatch");
+        if self.n == 0 {
+            return;
+        }
+        threads.par_chunks_mut(data, self.n, |_, line| self.execute(line, dir));
+    }
+
     /// In-place iterative radix-2 Cooley–Tukey; `self.n` must be a power of 2.
     fn radix2(&self, data: &mut [Complex64], dir: Direction) {
         let n = data.len();

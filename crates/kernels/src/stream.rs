@@ -22,6 +22,23 @@ pub fn triad(a: &mut [f64], b: &[f64], c: &[f64], q: f64) {
     }
 }
 
+/// [`triad`] with the arrays split across workers — the EP-STREAM
+/// configuration the paper's Table 1 measures (independent triads per
+/// processor). Element-wise and disjoint, so bitwise identical to the
+/// serial triad.
+pub fn triad_with(threads: &hec_core::pool::Threads, a: &mut [f64], b: &[f64], c: &[f64], q: f64) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), c.len());
+    if a.is_empty() {
+        return;
+    }
+    let chunk = a.len().div_ceil(threads.workers()).max(1);
+    threads.par_chunks_mut(a, chunk, |ci, ca| {
+        let lo = ci * chunk;
+        triad(ca, &b[lo..lo + ca.len()], &c[lo..lo + ca.len()], q);
+    });
+}
+
 /// STREAM copy: `a[i] = b[i]`.
 pub fn copy(a: &mut [f64], b: &[f64]) {
     assert_eq!(a.len(), b.len());

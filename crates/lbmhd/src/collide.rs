@@ -23,6 +23,8 @@
 //!
 //! whose first moment is the induction-equation flux `uB − Bu`.
 
+use hec_core::pool::Threads;
+
 use crate::lattice::{C, Q, W};
 use crate::state::Block;
 
@@ -94,7 +96,23 @@ pub fn equilibrium(rho: f64, u: [f64; 3], b: [f64; 3]) -> ([f64; Q], [[f64; 3]; 
 /// One fused collide+stream step: reads `src` (whose halo must be current)
 /// and writes the interior of `dst`. Returns the number of interior points
 /// updated (× [`FLOPS_PER_POINT`] gives the step's flop count).
+///
+/// Resolves the worker count from the environment; [`step_with`] takes an
+/// explicit [`Threads`] handle.
 pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
+    step_with(&Threads::from_env(), src, dst, omega, omega_m)
+}
+
+/// [`step`] with an explicit worker handle. Each (j,k) lattice line is
+/// computed independently and committed in fixed line order, so the result
+/// is bitwise identical for every worker count.
+pub fn step_with(
+    threads: &Threads,
+    src: &Block,
+    dst: &mut Block,
+    omega: f64,
+    omega_m: f64,
+) -> usize {
     assert_eq!((src.nx, src.ny, src.nz), (dst.nx, dst.ny, dst.nz));
     let (nx, ny, nz) = (src.nx, src.ny, src.nz);
     let px = src.px();
@@ -121,7 +139,7 @@ pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
     // allocation-free we process lines in parallel into freshly computed
     // rows and then commit serially per direction.
     let rows: Vec<(usize, Vec<[f64; Q]>, Vec<[[f64; 3]; Q]>)> =
-        hec_core::pool::par_map(&lines, |&(j, k)| {
+        threads.par_map(&lines, |&(j, k)| {
             let base = src.idx(1, j + 1, k + 1);
             let mut frow = vec![[0.0f64; Q]; nx];
             let mut grow = vec![[[0.0f64; 3]; Q]; nx];

@@ -7,9 +7,10 @@
 //! needs no communicator partner, so the same code path serves the serial
 //! examples and tests.
 
+use hec_core::pool::Threads;
 use msim::Comm;
 
-use crate::collide::{step, FLOPS_PER_POINT};
+use crate::collide::{step_with, FLOPS_PER_POINT};
 use crate::decomp::{exchange_halos, local_extent, processor_grid, CartRank};
 use crate::state::{set_equilibrium, Block, Moments};
 
@@ -24,11 +25,14 @@ pub struct SimParams {
     pub omega_m: f64,
     /// Perturbation amplitude of the initial vorticity tubes.
     pub amplitude: f64,
+    /// Shared-memory workers per rank (`0` = resolve from `HEC_THREADS` or
+    /// the machine's available parallelism).
+    pub threads: usize,
 }
 
 impl Default for SimParams {
     fn default() -> Self {
-        SimParams { n: 16, omega: 1.0, omega_m: 1.0, amplitude: 0.05 }
+        SimParams { n: 16, omega: 1.0, omega_m: 1.0, amplitude: 0.05, threads: 0 }
     }
 }
 
@@ -57,6 +61,8 @@ pub struct Simulation {
     pub origin: [usize; 3],
     src: Block,
     dst: Block,
+    /// Shared-memory worker handle used by the collide+stream kernel.
+    pub threads: Threads,
     /// Lattice points updated so far (for flop accounting).
     pub points_updated: u64,
     /// Halo bytes sent so far.
@@ -90,7 +96,16 @@ impl Simulation {
             }
         });
         let dst = Block::zeros(ext[0], ext[1], ext[2]);
-        Simulation { params, cart, origin, src, dst, points_updated: 0, halo_bytes_sent: 0 }
+        Simulation {
+            threads: Threads::from_config(params.threads),
+            params,
+            cart,
+            origin,
+            src,
+            dst,
+            points_updated: 0,
+            halo_bytes_sent: 0,
+        }
     }
 
     /// Read access to the current (source) block.
@@ -101,7 +116,13 @@ impl Simulation {
     /// Advances one timestep: halo exchange, then fused collide+stream.
     pub fn step(&mut self, comm: &Comm) {
         self.halo_bytes_sent += exchange_halos(comm, &self.cart, &mut self.src) as u64;
-        let pts = step(&self.src, &mut self.dst, self.params.omega, self.params.omega_m);
+        let pts = step_with(
+            &self.threads,
+            &self.src,
+            &mut self.dst,
+            self.params.omega,
+            self.params.omega_m,
+        );
         self.points_updated += pts as u64;
         std::mem::swap(&mut self.src, &mut self.dst);
     }

@@ -16,6 +16,7 @@
 //! The inverse direction reverses the three stages. Complex values travel
 //! through msim as (re, im) pairs.
 
+use hec_core::pool::Threads;
 use kernels::fft::{Direction, FftPlan};
 use kernels::Complex64;
 use msim::Comm;
@@ -50,6 +51,10 @@ pub struct DistFft {
     pub nprocs: usize,
     /// This rank.
     pub rank: usize,
+    /// Shared-memory worker handle for the per-rank FFT and transpose
+    /// stages. All threaded stages are bitwise invariant in the worker
+    /// count.
+    pub threads: Threads,
     /// Bytes sent in transposes so far (instrumentation).
     pub transpose_bytes: u64,
     /// Flops executed in FFT stages so far (instrumentation).
@@ -57,8 +62,15 @@ pub struct DistFft {
 }
 
 impl DistFft {
-    /// Builds the per-rank transform state.
+    /// Builds the per-rank transform state at the environment's worker
+    /// count.
     pub fn new(sphere: GSphere, rank: usize, nprocs: usize) -> Self {
+        Self::with_threads(sphere, rank, nprocs, Threads::from_env())
+    }
+
+    /// Builds the per-rank transform state with an explicit worker
+    /// handle.
+    pub fn with_threads(sphere: GSphere, rank: usize, nprocs: usize, threads: Threads) -> Self {
         let assignment = sphere.balance(nprocs);
         let my_columns = assignment[rank].clone();
         DistFft {
@@ -70,6 +82,7 @@ impl DistFft {
             assignment,
             nprocs,
             rank,
+            threads,
             transpose_bytes: 0,
             fft_flops: 0.0,
         }
@@ -93,37 +106,57 @@ impl DistFft {
         let (nx, ny, nz) = (self.sphere.nx, self.sphere.ny, self.sphere.nz);
 
         // Stage 1: scatter each column's sparse gz points onto a dense
-        // z-line and inverse-FFT it (G→r along z).
-        let mut lines: Vec<(usize, usize, Vec<Complex64>)> =
-            Vec::with_capacity(self.my_columns.len());
-        let mut off = 0;
-        for &ci in &self.my_columns {
-            let col: &Column = &self.sphere.columns[ci];
+        // z-line and inverse-FFT it (G→r along z). Columns are
+        // independent, so they split across workers; each writes its own
+        // line.
+        let offsets: Vec<usize> = self
+            .my_columns
+            .iter()
+            .scan(0usize, |off, &ci| {
+                let here = *off;
+                *off += self.sphere.columns[ci].len();
+                Some(here)
+            })
+            .collect();
+        let sphere = &self.sphere;
+        let my_columns = &self.my_columns;
+        let plan_z = &self.plan_z;
+        let col_idx: Vec<usize> = (0..my_columns.len()).collect();
+        let lines: Vec<(usize, usize, Vec<Complex64>)> = self.threads.par_map(&col_idx, |&i| {
+            let col: &Column = &sphere.columns[my_columns[i]];
             let mut line = vec![Complex64::ZERO; nz];
             for (k, &gz) in col.gz.iter().enumerate() {
-                line[wrap_freq(gz, nz)] = coeffs[off + k];
+                line[wrap_freq(gz, nz)] = coeffs[offsets[i] + k];
             }
-            off += col.len();
-            self.plan_z.execute(&mut line, Direction::Inverse);
-            self.fft_flops += self.plan_z.flops();
-            lines.push((col.gx, col.gy, line));
-        }
+            plan_z.execute(&mut line, Direction::Inverse);
+            (col.gx, col.gy, line)
+        });
+        self.fft_flops += my_columns.len() as f64 * self.plan_z.flops();
 
         // Stage 2: transpose — ship each slab rank its z-range of every
-        // column, tagged with the column's (gx, gy).
-        let mut send: Vec<Vec<f64>> = vec![Vec::new(); self.nprocs];
-        for (gx, gy, line) in &lines {
-            for p in 0..self.nprocs {
-                let (s, l) = (slab_start(nz, self.nprocs, p), slab_len(nz, self.nprocs, p));
-                let buf = &mut send[p];
-                buf.push(*gx as f64);
-                buf.push(*gy as f64);
-                for z in s..s + l {
-                    buf.push(line[z].re);
-                    buf.push(line[z].im);
-                }
-            }
-        }
+        // column, tagged with the column's (gx, gy). One pack task per
+        // destination rank (each builds its own buffer).
+        let nprocs = self.nprocs;
+        let lines_ref = &lines;
+        let send: Vec<Vec<f64>> = self.threads.par_tasks(
+            (0..nprocs)
+                .map(|p| {
+                    move || {
+                        let (s, l) = (slab_start(nz, nprocs, p), slab_len(nz, nprocs, p));
+                        let mut buf = Vec::with_capacity(lines_ref.len() * (2 + 2 * l));
+                        for (gx, gy, line) in lines_ref {
+                            buf.push(*gx as f64);
+                            buf.push(*gy as f64);
+                            for z in s..s + l {
+                                buf.push(line[z].re);
+                                buf.push(line[z].im);
+                            }
+                        }
+                        buf
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
         self.transpose_bytes += send
             .iter()
             .enumerate()
@@ -132,40 +165,58 @@ impl DistFft {
             .sum::<u64>();
         let recv = comm.alltoall_f64(&send);
 
-        // Unpack into the dense local slab.
+        // Unpack into the dense local slab, one plane per task: every
+        // record carries one value for each local plane, so plane `z`
+        // reads offset `2 + 2z` of every record and owns its writes.
         let my_len = slab_len(nz, self.nprocs, self.rank);
         let mut slab = vec![Complex64::ZERO; nx * ny * my_len];
-        for buf in &recv {
+        if my_len > 0 {
             let rec_len = 2 + 2 * my_len;
-            assert!(buf.len() % rec_len == 0, "corrupt transpose record");
-            for rec in buf.chunks_exact(rec_len) {
-                let (gx, gy) = (rec[0] as usize, rec[1] as usize);
-                for z in 0..my_len {
-                    slab[gx + nx * (gy + ny * z)] = Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
-                }
+            for buf in &recv {
+                assert!(buf.len() % rec_len == 0, "corrupt transpose record");
             }
+            let recv_ref = &recv;
+            self.threads.par_chunks_mut(&mut slab, nx * ny, |z, plane| {
+                for buf in recv_ref {
+                    for rec in buf.chunks_exact(rec_len) {
+                        let (gx, gy) = (rec[0] as usize, rec[1] as usize);
+                        plane[gx + nx * gy] = Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
+                    }
+                }
+            });
         }
 
-        // Stage 3: inverse 2D FFT on each local plane (x pencils, then y).
-        for z in 0..my_len {
-            let plane = &mut slab[nx * ny * z..nx * ny * (z + 1)];
+        // Stage 3: inverse 2D FFT on each local plane (x pencils, then
+        // y), planes split across workers.
+        self.plane_ffts(&mut slab, Direction::Inverse);
+        slab
+    }
+
+    /// 2D x/y pencil FFTs on every `nx × ny` plane of `slab`, planes
+    /// split across workers (each plane is a disjoint contiguous slice,
+    /// so the result is bitwise identical to the serial sweep).
+    fn plane_ffts(&mut self, slab: &mut [Complex64], dir: Direction) {
+        let (nx, ny) = (self.sphere.nx, self.sphere.ny);
+        let planes = slab.len() / (nx * ny).max(1);
+        let plan_x = &self.plan_x;
+        let plan_y = &self.plan_y;
+        self.threads.par_chunks_mut(slab, nx * ny, |_, plane| {
             for row in plane.chunks_exact_mut(nx) {
-                self.plan_x.execute(row, Direction::Inverse);
+                plan_x.execute(row, dir);
             }
-            self.fft_flops += ny as f64 * self.plan_x.flops();
             let mut line = vec![Complex64::ZERO; ny];
             for x in 0..nx {
                 for (y, l) in line.iter_mut().enumerate() {
                     *l = plane[x + nx * y];
                 }
-                self.plan_y.execute(&mut line, Direction::Inverse);
+                plan_y.execute(&mut line, dir);
                 for (y, l) in line.iter().enumerate() {
                     plane[x + nx * y] = *l;
                 }
             }
-            self.fft_flops += nx as f64 * self.plan_y.flops();
-        }
-        slab
+        });
+        self.fft_flops +=
+            planes as f64 * (ny as f64 * self.plan_x.flops() + nx as f64 * self.plan_y.flops());
     }
 
     /// Inverse transform: real-space z-slab → sphere coefficients (this
@@ -176,42 +227,36 @@ impl DistFft {
         assert_eq!(slab.len(), nx * ny * my_len, "slab slice mismatch");
         let mut work = slab.to_vec();
 
-        // Stage 3 adjoint: forward 2D FFT per plane.
-        for z in 0..my_len {
-            let plane = &mut work[nx * ny * z..nx * ny * (z + 1)];
-            for row in plane.chunks_exact_mut(nx) {
-                self.plan_x.execute(row, Direction::Forward);
-            }
-            self.fft_flops += ny as f64 * self.plan_x.flops();
-            let mut line = vec![Complex64::ZERO; ny];
-            for x in 0..nx {
-                for (y, l) in line.iter_mut().enumerate() {
-                    *l = plane[x + nx * y];
-                }
-                self.plan_y.execute(&mut line, Direction::Forward);
-                for (y, l) in line.iter().enumerate() {
-                    plane[x + nx * y] = *l;
-                }
-            }
-            self.fft_flops += nx as f64 * self.plan_y.flops();
-        }
+        // Stage 3 adjoint: forward 2D FFT per plane, planes split across
+        // workers.
+        self.plane_ffts(&mut work, Direction::Forward);
 
         // Stage 2 adjoint: ship every column owner its (gx, gy) values for
-        // my z-range.
-        let mut send: Vec<Vec<f64>> = vec![Vec::new(); self.nprocs];
-        for (owner, cols) in self.assignment.iter().enumerate() {
-            let buf = &mut send[owner];
-            for &ci in cols {
-                let col = &self.sphere.columns[ci];
-                buf.push(col.gx as f64);
-                buf.push(col.gy as f64);
-                for z in 0..my_len {
-                    let v = work[col.gx + nx * (col.gy + ny * z)];
-                    buf.push(v.re);
-                    buf.push(v.im);
-                }
-            }
-        }
+        // my z-range. One pack task per destination rank.
+        let sphere = &self.sphere;
+        let assignment = &self.assignment;
+        let work_ref = &work;
+        let send: Vec<Vec<f64>> = self.threads.par_tasks(
+            (0..self.nprocs)
+                .map(|owner| {
+                    move || {
+                        let cols = &assignment[owner];
+                        let mut buf = Vec::with_capacity(cols.len() * (2 + 2 * my_len));
+                        for &ci in cols {
+                            let col = &sphere.columns[ci];
+                            buf.push(col.gx as f64);
+                            buf.push(col.gy as f64);
+                            for z in 0..my_len {
+                                let v = work_ref[col.gx + nx * (col.gy + ny * z)];
+                                buf.push(v.re);
+                                buf.push(v.im);
+                            }
+                        }
+                        buf
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
         self.transpose_bytes += send
             .iter()
             .enumerate()
@@ -220,42 +265,47 @@ impl DistFft {
             .sum::<u64>();
         let recv = comm.alltoall_f64(&send);
 
-        // Reassemble each of my columns' dense z-lines.
-        let mut lines: Vec<Vec<Complex64>> =
-            self.my_columns.iter().map(|_| vec![Complex64::ZERO; nz]).collect();
+        // Reassemble each of my columns' dense z-lines, then stage 1
+        // adjoint: forward z-FFT and harvest of the sphere points — one
+        // task per column. Every rank packed its records in
+        // `assignment[me]` = `my_columns` order, so column `li`'s record
+        // sits at a fixed offset in every receive buffer (no search).
+        let ncols = self.my_columns.len();
         for (p, buf) in recv.iter().enumerate() {
             let sl = slab_len(nz, self.nprocs, p);
-            let ss = slab_start(nz, self.nprocs, p);
-            let rec_len = 2 + 2 * sl;
-            if sl == 0 {
-                continue;
-            }
-            assert!(buf.len() % rec_len == 0, "corrupt transpose record");
-            for rec in buf.chunks_exact(rec_len) {
-                let (gx, gy) = (rec[0] as usize, rec[1] as usize);
-                let li = self
-                    .my_columns
-                    .iter()
-                    .position(|&ci| {
-                        self.sphere.columns[ci].gx == gx && self.sphere.columns[ci].gy == gy
-                    })
-                    .expect("received a column this rank does not own");
-                for z in 0..sl {
-                    lines[li][ss + z] = Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
-                }
+            if sl > 0 {
+                assert_eq!(buf.len(), ncols * (2 + 2 * sl), "corrupt transpose record");
             }
         }
-
-        // Stage 1 adjoint: forward z-FFT, then harvest the sphere points.
-        let mut coeffs = Vec::with_capacity(self.local_ng());
-        for (li, &ci) in self.my_columns.iter().enumerate() {
-            let line = &mut lines[li];
-            self.plan_z.execute(line, Direction::Forward);
-            self.fft_flops += self.plan_z.flops();
-            let col = &self.sphere.columns[ci];
-            for &gz in &col.gz {
-                coeffs.push(line[wrap_freq(gz, nz)]);
+        let sphere = &self.sphere;
+        let my_columns = &self.my_columns;
+        let plan_z = &self.plan_z;
+        let nprocs = self.nprocs;
+        let recv_ref = &recv;
+        let col_idx: Vec<usize> = (0..ncols).collect();
+        let per_col: Vec<Vec<Complex64>> = self.threads.par_map(&col_idx, |&li| {
+            let col = &sphere.columns[my_columns[li]];
+            let mut line = vec![Complex64::ZERO; nz];
+            for (p, buf) in recv_ref.iter().enumerate() {
+                let sl = slab_len(nz, nprocs, p);
+                if sl == 0 {
+                    continue;
+                }
+                let ss = slab_start(nz, nprocs, p);
+                let rec_len = 2 + 2 * sl;
+                let rec = &buf[li * rec_len..(li + 1) * rec_len];
+                debug_assert_eq!((rec[0] as usize, rec[1] as usize), (col.gx, col.gy));
+                for z in 0..sl {
+                    line[ss + z] = Complex64::new(rec[2 + 2 * z], rec[3 + 2 * z]);
+                }
             }
+            plan_z.execute(&mut line, Direction::Forward);
+            col.gz.iter().map(|&gz| line[wrap_freq(gz, nz)]).collect()
+        });
+        self.fft_flops += ncols as f64 * self.plan_z.flops();
+        let mut coeffs = Vec::with_capacity(self.local_ng());
+        for v in per_col {
+            coeffs.extend(v);
         }
         // Normalize so to_real_space ∘ to_fourier_space = identity: the
         // z-inverse already divides by nz and the plane inverses by nx·ny,

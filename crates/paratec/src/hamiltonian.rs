@@ -11,7 +11,7 @@
 //!   projections `⟨β_p|ψ⟩` and the rank-update back-projection are both
 //!   ZGEMMs over the local G-vectors with an `Allreduce` across ranks.
 
-use kernels::blas::{zgemm, Trans};
+use kernels::blas::{par_zgemm, Trans};
 use kernels::Complex64;
 use msim::{Comm, ReduceOp};
 
@@ -154,9 +154,11 @@ impl Hamiltonian {
                 }
             }
             // betaᴴ-style product: proj = conj(β) · ψᵀ, implemented as
-            // zgemm(None) with conj applied through a scratch copy.
+            // zgemm(None) with conj applied through a scratch copy. The
+            // row-banded parallel path is bitwise identical to serial.
             let beta_conj: Vec<Complex64> = self.nonlocal.beta.iter().map(|z| z.conj()).collect();
-            zgemm(
+            par_zgemm(
+                &self.fft.threads,
                 Trans::None,
                 npj,
                 nbands,
@@ -187,7 +189,8 @@ impl Hamiltonian {
             // add = βᵀ(ng×nproj as ConjTrans of conj?) — we need Σ_p β[p,g]·dproj[p,b]:
             // zgemm with A = β viewed (nproj × ng), transposed without conj:
             // conj(conj(β))ᵀ = βᵀ, so ConjTrans on beta_conj gives it.
-            zgemm(
+            par_zgemm(
+                &self.fft.threads,
                 Trans::ConjTrans,
                 ng,
                 nbands,

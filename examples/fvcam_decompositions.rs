@@ -8,7 +8,8 @@
 //! ```
 
 fn main() {
-    let base = fvcam::FvParams { nlon: 72, nlat: 45, nlev: 8, pz: 1, courant: 0.4 };
+    let base =
+        fvcam::FvParams { nlon: 72, nlat: 45, nlev: 8, pz: 1, courant: 0.4, ..Default::default() };
     let steps = 3;
 
     let mut reference_mass = None;

@@ -30,6 +30,7 @@ fn main() {
             omega: 1.9, // low viscosity: structures distort quickly
             omega_m: 1.2,
             amplitude: 0.08,
+            ..Default::default()
         };
         let mut sim = lbmhd::Simulation::new(params, comm.rank(), comm.size());
         let mut shots = Vec::new();

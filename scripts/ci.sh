@@ -8,4 +8,8 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo fmt --check
 
+# Smoke the bench harness under shared-memory threading: one timed
+# iteration per case, two workers, scaling fields written to the JSONs.
+HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- harness 1
+
 echo "ci: ok"

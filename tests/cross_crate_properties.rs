@@ -5,6 +5,7 @@
 //! plain `for` loop over derived seeds, so failures are reproducible from
 //! the printed seed without a shrinker.
 
+use hec_core::pool::Threads;
 use hec_core::Rng;
 use kernels::blas::{dgemm, dgemm_reference};
 use kernels::fft::{dft_reference, Direction, FftPlan};
@@ -326,6 +327,108 @@ fn model_is_monotone_in_peak() {
         let g0 = hec_arch::predict(&base, &w).gflops_per_proc;
         let g1 = hec_arch::predict(&faster, &w).gflops_per_proc;
         assert!(g1 >= g0 * 0.999, "case {case}, scale={scale}");
+    }
+}
+
+/// Threaded charge deposition is bitwise invariant across worker counts:
+/// the chunk decomposition depends only on the particle count, and the
+/// per-chunk partial grids are reduced in fixed chunk order.
+#[test]
+fn gtc_threaded_deposit_is_bitwise_invariant_across_workers() {
+    let grid = gtc::geometry::PoloidalGrid { mpsi: 16, mtheta: 32, r_inner: 0.1, r_outer: 0.9 };
+    let count = 3 * gtc::deposit::DEPOSIT_CHUNK + 11;
+    let parts = gtc::particles::load_uniform(count, 0.15, 0.85, 0.0, 1.0, 99);
+    let run = |threads: Threads| -> Vec<Vec<u64>> {
+        let mut charge: Vec<Vec<f64>> = (0..=2).map(|_| vec![0.0; grid.len()]).collect();
+        gtc::deposit::deposit_threaded(&grid, &parts, &mut charge, 0.0, 0.5, &threads);
+        charge.iter().map(|p| p.iter().map(|v| v.to_bits()).collect()).collect()
+    };
+    let reference = run(Threads::serial());
+    for workers in [1usize, 2, 4] {
+        assert_eq!(run(Threads::new(workers)), reference, "workers={workers}");
+    }
+    // And the threaded result still conserves total charge.
+    let total: f64 = reference.iter().flatten().map(|&b| f64::from_bits(b)).sum();
+    assert!((total - parts.total_weight()).abs() < 1e-9 * parts.total_weight());
+}
+
+/// Row-banded parallel GEMM is bitwise identical to the serial kernel for
+/// any worker count: each output row's update order never changes, only
+/// which worker owns it.
+#[test]
+fn parallel_gemm_is_bitwise_identical_to_serial() {
+    use kernels::blas::{par_dgemm, par_zgemm, zgemm, Trans};
+    let mut rng = Rng::new(0xBAD_9E33);
+    let (m, n, k) = (37usize, 29, 23);
+    let a: Vec<f64> = (0..m * k).map(|_| rng.range(-1.0, 1.0)).collect();
+    let b: Vec<f64> = (0..k * n).map(|_| rng.range(-1.0, 1.0)).collect();
+    let c0: Vec<f64> = (0..m * n).map(|_| rng.range(-1.0, 1.0)).collect();
+    let mut serial = c0.clone();
+    dgemm(m, n, k, 0.75, &a, &b, 0.5, &mut serial);
+    for workers in [1usize, 2, 4] {
+        let mut par = c0.clone();
+        par_dgemm(&Threads::new(workers), m, n, k, 0.75, &a, &b, 0.5, &mut par);
+        let same = serial.iter().zip(&par).all(|(x, y)| x.to_bits() == y.to_bits());
+        assert!(same, "par_dgemm workers={workers} diverged from serial");
+    }
+
+    let az: Vec<Complex64> =
+        (0..m * k).map(|_| Complex64::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0))).collect();
+    let bz: Vec<Complex64> =
+        (0..k * n).map(|_| Complex64::new(rng.range(-1.0, 1.0), rng.range(-1.0, 1.0))).collect();
+    let alpha = Complex64::new(0.9, -0.2);
+    let beta = Complex64::new(0.1, 0.3);
+    for ta in [Trans::None, Trans::ConjTrans] {
+        let mut serial: Vec<Complex64> = vec![Complex64::ZERO; m * n];
+        zgemm(ta, m, n, k, alpha, &az, &bz, beta, &mut serial);
+        for workers in [1usize, 2, 4] {
+            let mut par: Vec<Complex64> = vec![Complex64::ZERO; m * n];
+            par_zgemm(&Threads::new(workers), ta, m, n, k, alpha, &az, &bz, beta, &mut par);
+            let same = serial
+                .iter()
+                .zip(&par)
+                .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits());
+            assert!(same, "par_zgemm {ta:?} workers={workers} diverged from serial");
+        }
+    }
+}
+
+/// The distributed FFT's forward∘inverse round trip is unchanged by the
+/// worker count: every stage either owns disjoint output or reduces in a
+/// fixed order, so 1, 2, and 4 workers produce the same bits.
+#[test]
+fn distfft_round_trip_is_bitwise_stable_across_threads() {
+    let sphere = paratec::basis::GSphere::build(8, 8, 8, 5.0);
+    let run = |workers: usize| -> Vec<(Vec<u64>, Vec<u64>)> {
+        let s = sphere.clone();
+        msim::run(2, move |comm| {
+            let mut fft = paratec::fftdist::DistFft::with_threads(
+                s.clone(),
+                comm.rank(),
+                comm.size(),
+                Threads::new(workers),
+            );
+            let coeffs: Vec<Complex64> = (0..fft.local_ng())
+                .map(|i| {
+                    let t = (i as f64 + 100.0 * comm.rank() as f64) * 0.7;
+                    Complex64::new(t.sin(), (t * 1.3).cos() * 0.5)
+                })
+                .collect();
+            let slab = fft.to_real_space(comm, &coeffs);
+            let back = fft.to_fourier_space(comm, &slab);
+            for (orig, got) in coeffs.iter().zip(&back) {
+                assert!((*orig - *got).abs() < 1e-10, "round trip drifted");
+            }
+            let bits = |v: &[Complex64]| -> Vec<u64> {
+                v.iter().flat_map(|z| [z.re.to_bits(), z.im.to_bits()]).collect()
+            };
+            (bits(&slab), bits(&back))
+        })
+        .unwrap()
+    };
+    let reference = run(1);
+    for workers in [2usize, 4] {
+        assert_eq!(run(workers), reference, "workers={workers}");
     }
 }
 

@@ -5,7 +5,8 @@
 /// matrix of one steady-state step.
 fn capture(pz: usize) -> (Vec<u64>, usize) {
     let ranks = 16;
-    let params = fvcam::FvParams { nlon: 72, nlat: 49, nlev: 8, pz, courant: 0.3 };
+    let params =
+        fvcam::FvParams { nlon: 72, nlat: 49, nlev: 8, pz, courant: 0.3, ..Default::default() };
     let (_, traffic) = msim::run_with_traffic(ranks, move |comm| {
         let mut sim = fvcam::FvSim::new(params, comm.rank(), comm.size());
         sim.step(comm);
