@@ -1,9 +1,10 @@
 //! Result generation for every table and figure.
 //!
 //! Each driver builds, per (configuration, platform), the workload profile
-//! from the application's validated model and evaluates it with the
-//! architectural model. Results use the paper's 7-column platform layout
-//! (see `report::paper::PLATFORMS`).
+//! from the application's *measured* calibration capture (see each app's
+//! `measured_workload`; the analytic builders remain as the cross-check
+//! oracle) and evaluates it with the architectural model. Results use the
+//! paper's 7-column platform layout (see `report::paper::PLATFORMS`).
 
 use hec_arch::{predict, Platform, PlatformId, WorkloadProfile};
 
@@ -80,11 +81,12 @@ fn eval_4ssp(w: &WorkloadProfile) -> Cell {
 /// on Power3 and ES exactly as in the paper; the X1E column sits in the
 /// paper's "4-SSP" slot (FVCAM reports X1E, not SSP mode).
 pub fn fvcam_rows() -> Vec<Row> {
-    use fvcam::model::{table3_configs, workload, FvConfig};
+    use fvcam::model::{measured_workload, table3_configs, FvConfig};
     let mut rows = Vec::new();
     for base in table3_configs(1) {
-        let mk =
-            |threads: usize| -> Option<WorkloadProfile> { workload(FvConfig { threads, ..base }) };
+        let mk = |threads: usize| -> Option<WorkloadProfile> {
+            measured_workload(FvConfig { threads, ..base })
+        };
         let w1 = mk(1);
         let w4 = mk(4);
         // Prefer pure MPI; fall back to 4 threads where MPI alone is
@@ -113,11 +115,11 @@ pub fn fvcam_rows() -> Vec<Row> {
 
 /// Table 4: GTC weak scaling (3.2 M particles per processor).
 pub fn gtc_rows() -> Vec<Row> {
-    use gtc::model::{workload, TABLE4_CONFIGS};
+    use gtc::model::{measured_workload, TABLE4_CONFIGS};
     TABLE4_CONFIGS
         .iter()
         .map(|&(procs, ppc)| {
-            let w = workload(procs);
+            let w = measured_workload(procs);
             let cells: [Option<Cell>; 7] = [
                 Some(eval(&Platform::get(PlatformId::Power3), &w)),
                 Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
@@ -134,11 +136,11 @@ pub fn gtc_rows() -> Vec<Row> {
 
 /// Table 5: LBMHD3D at 256³–1024³.
 pub fn lbmhd_rows() -> Vec<Row> {
-    use lbmhd::model::{workload, TABLE5_CONFIGS};
+    use lbmhd::model::{measured_workload, TABLE5_CONFIGS};
     TABLE5_CONFIGS
         .iter()
         .map(|&(procs, n)| {
-            let w = workload(n, procs);
+            let w = measured_workload(n, procs);
             // The paper's X1 SSP column for LBMHD is per-SSP Gflop/s (not
             // aggregate): divide the aggregate evaluation back by 4.
             let ssp = {
@@ -161,11 +163,11 @@ pub fn lbmhd_rows() -> Vec<Row> {
 
 /// Table 6: PARATEC, 488-atom CdSe dot, 3 CG steps.
 pub fn paratec_rows() -> Vec<Row> {
-    use paratec::model::{workload, TABLE6_CONFIGS};
+    use paratec::model::{measured_workload, TABLE6_CONFIGS};
     TABLE6_CONFIGS
         .iter()
         .map(|&procs| {
-            let w = workload(procs);
+            let w = measured_workload(procs);
             let cells: [Option<Cell>; 7] = [
                 Some(eval(&Platform::get(PlatformId::Power3), &w)),
                 Some(eval(&Platform::get(PlatformId::Itanium2), &w)),

@@ -1,38 +1,52 @@
 //! Dependency-free benchmark harness (replaces the former criterion
 //! benches).
 //!
-//! Each case runs `WARMUP` untimed iterations and then `iters` timed ones;
-//! we report the median and minimum wall time plus a derived throughput.
-//! Medians are robust to the occasional scheduler hiccup, minima estimate
-//! the noise floor. Results are printed as a table and written to
-//! `BENCH_kernels.json` / `BENCH_apps.json` so successive runs can be
-//! diffed.
+//! Each case runs `WARMUP` untimed calls, then auto-scales the number of
+//! calls batched into one timed sample until a sample covers at least
+//! [`MIN_SAMPLE_NS`] — sub-window measurements are dominated by timer
+//! resolution and scheduling noise — and finally takes `samples` timed
+//! samples. We report the median and minimum per-call wall time plus a
+//! derived throughput; medians are robust to the occasional scheduler
+//! hiccup, minima estimate the noise floor. Results are printed as a
+//! table and written to `BENCH_kernels.json` / `BENCH_apps.json` (with
+//! the true per-sample call count) so successive runs can be diffed.
 //!
-//! Invoke as `repro harness [iters]` (default 11 timed iterations).
+//! Invoke as `repro harness [samples]` (default 11 timed samples).
 
 use std::time::Instant;
 
 use hec_core::json::{Json, ToJson};
 use hec_core::pool::Threads;
 
-/// Untimed iterations before measurement starts.
+/// Untimed calls before measurement starts.
 pub const WARMUP: usize = 3;
 
-/// Default number of timed iterations.
+/// Default number of timed samples.
 pub const DEFAULT_ITERS: usize = 11;
+
+/// Minimum wall time one timed sample must cover, in nanoseconds.
+/// Calls are batched (`Sample::iters` per sample) until this window is
+/// reached, so nanosecond-scale kernels still produce stable statistics.
+pub const MIN_SAMPLE_NS: u64 = 200_000;
+
+/// Cap on the per-sample batch size the auto-scaler may choose.
+pub const MAX_BATCH: usize = 1 << 20;
 
 /// One benchmark measurement.
 #[derive(Clone, Debug)]
 pub struct Sample {
     /// `group/name` identifier, e.g. `"stream/triad_65536"`.
     pub name: String,
-    /// Timed iterations contributing to the statistics.
+    /// Calls batched into each timed sample (auto-scaled so one sample
+    /// covers at least [`MIN_SAMPLE_NS`]).
     pub iters: usize,
-    /// Median wall time per iteration, in nanoseconds.
+    /// Timed samples contributing to the statistics.
+    pub samples: usize,
+    /// Median wall time per call, in nanoseconds.
     pub median_ns: f64,
-    /// Minimum wall time per iteration, in nanoseconds.
+    /// Minimum wall time per call, in nanoseconds.
     pub min_ns: f64,
-    /// Work items (elements, flops, bytes…) per iteration, for throughput.
+    /// Work items (elements, flops, bytes…) per call, for throughput.
     pub units: f64,
     /// What `units` counts, e.g. `"bytes"` or `"flops"`.
     pub unit_label: &'static str,
@@ -60,6 +74,7 @@ impl ToJson for Sample {
         let mut fields = vec![
             ("name", Json::Str(self.name.clone())),
             ("iters", Json::Num(self.iters as f64)),
+            ("samples", Json::Num(self.samples as f64)),
             ("median_ns", Json::Num(self.median_ns)),
             ("min_ns", Json::Num(self.min_ns)),
             ("units", Json::Num(self.units)),
@@ -79,11 +94,12 @@ impl ToJson for Sample {
     }
 }
 
-/// Times `f` for `WARMUP + iters` calls and folds the timed ones into a
-/// [`Sample`].
+/// Warms `f` up, auto-scales the per-sample batch size to the
+/// measurement window, then takes `samples` timed samples and folds the
+/// per-call statistics into a [`Sample`].
 pub fn measure<F: FnMut()>(
     name: &str,
-    iters: usize,
+    samples: usize,
     units: f64,
     unit_label: &'static str,
     mut f: F,
@@ -91,23 +107,43 @@ pub fn measure<F: FnMut()>(
     for _ in 0..WARMUP {
         f();
     }
-    let mut times: Vec<u64> = Vec::with_capacity(iters);
-    for _ in 0..iters.max(1) {
+    // Auto-scale: grow the batch until one sample covers the minimum
+    // window. The growth factor aims directly at the window from the
+    // last measurement, so calibration costs at most a few batches.
+    let mut batch: usize = 1;
+    loop {
         let t0 = Instant::now();
-        f();
-        times.push(t0.elapsed().as_nanos() as u64);
+        for _ in 0..batch {
+            f();
+        }
+        let ns = t0.elapsed().as_nanos() as u64;
+        if ns >= MIN_SAMPLE_NS || batch >= MAX_BATCH {
+            break;
+        }
+        let grow = (MIN_SAMPLE_NS as f64 / ns.max(1) as f64).ceil() as usize;
+        batch = batch.saturating_mul(grow.max(2)).min(MAX_BATCH);
     }
-    times.sort_unstable();
+    let samples = samples.max(1);
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        times.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    times.sort_by(f64::total_cmp);
     let median = if times.len() % 2 == 1 {
-        times[times.len() / 2] as f64
+        times[times.len() / 2]
     } else {
-        (times[times.len() / 2 - 1] + times[times.len() / 2]) as f64 / 2.0
+        (times[times.len() / 2 - 1] + times[times.len() / 2]) / 2.0
     };
     Sample {
         name: name.to_string(),
-        iters: times.len(),
+        iters: batch,
+        samples,
         median_ns: median,
-        min_ns: times[0] as f64,
+        min_ns: times[0],
         units,
         unit_label,
         threads: None,
@@ -129,7 +165,7 @@ pub fn scaling_workers() -> usize {
 /// with `threads`, `speedup`, and `efficiency` filled in.
 pub fn measure_scaling<F: FnMut(&Threads)>(
     name: &str,
-    iters: usize,
+    samples: usize,
     units: f64,
     unit_label: &'static str,
     mut f: F,
@@ -137,11 +173,11 @@ pub fn measure_scaling<F: FnMut(&Threads)>(
     let serial = Threads::serial();
     let nw = scaling_workers();
     let par = Threads::new(nw);
-    let mut s1 = measure(&format!("{name}/t1"), iters, units, unit_label, || f(&serial));
+    let mut s1 = measure(&format!("{name}/t1"), samples, units, unit_label, || f(&serial));
     s1.threads = Some(1);
     s1.speedup = Some(1.0);
     s1.efficiency = Some(1.0);
-    let mut sn = measure(&format!("{name}/t{nw}"), iters, units, unit_label, || f(&par));
+    let mut sn = measure(&format!("{name}/t{nw}"), samples, units, unit_label, || f(&par));
     sn.threads = Some(nw);
     let speedup = if sn.median_ns > 0.0 { s1.median_ns / sn.median_ns } else { f64::INFINITY };
     sn.speedup = Some(speedup);
@@ -193,6 +229,7 @@ fn write_json(path: &str, samples: &[Sample]) {
     let doc = Json::obj([
         ("harness", Json::Str("repro harness".into())),
         ("warmup", Json::Num(WARMUP as f64)),
+        ("min_sample_ns", Json::Num(MIN_SAMPLE_NS as f64)),
         ("samples", Json::Arr(samples.iter().map(|s| s.to_json()).collect())),
     ]);
     match std::fs::write(path, doc.emit_pretty() + "\n") {
@@ -441,7 +478,11 @@ pub fn table_samples(iters: usize) -> Vec<Sample> {
 /// Runs the whole suite and writes `BENCH_kernels.json` / `BENCH_apps.json`
 /// in the current directory.
 pub fn run(iters: usize) {
-    println!("harness: {WARMUP} warmup + {iters} timed iterations per case\n");
+    println!(
+        "harness: {WARMUP} warmup calls + {iters} timed samples per case \
+         (>= {} µs per sample, calls auto-batched)\n",
+        MIN_SAMPLE_NS / 1000
+    );
 
     let kernels = kernel_samples(iters);
     print_samples("microkernels", &kernels);
@@ -473,17 +514,47 @@ mod tests {
             }
         });
         std::hint::black_box(x);
-        assert_eq!(s.iters, 7);
+        assert_eq!(s.samples, 7);
+        assert!(s.iters >= 1);
         assert!(s.min_ns <= s.median_ns);
         assert!(s.min_ns > 0.0);
         assert!(s.throughput() > 0.0);
     }
 
     #[test]
+    fn fast_calls_are_batched_to_the_measurement_window() {
+        // A ~microsecond body must be batched so each timed sample covers
+        // at least MIN_SAMPLE_NS of wall time.
+        let mut x = 1u64;
+        let s = measure("t/fast", 3, 1.0, "op", || {
+            for _ in 0..100 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(s.iters > 1, "fast call must be batched, got {} calls/sample", s.iters);
+        let sample_ns = s.median_ns * s.iters as f64;
+        assert!(
+            sample_ns >= MIN_SAMPLE_NS as f64 * 0.5,
+            "median sample spans {sample_ns} ns < window"
+        );
+    }
+
+    #[test]
+    fn slow_calls_are_not_batched() {
+        let s = measure("t/slow", 3, 1.0, "op", || {
+            std::thread::sleep(std::time::Duration::from_micros(300));
+        });
+        assert_eq!(s.iters, 1, "a call beyond the window needs no batching");
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
     fn sample_json_has_all_fields() {
         let s = Sample {
             name: "g/case".into(),
-            iters: 5,
+            iters: 64,
+            samples: 5,
             median_ns: 200.0,
             min_ns: 100.0,
             units: 10.0,
@@ -494,6 +565,8 @@ mod tests {
         };
         let j = s.to_json();
         assert_eq!(j.str_field("name").unwrap(), "g/case");
+        assert_eq!(j.num_field("iters").unwrap(), 64.0);
+        assert_eq!(j.num_field("samples").unwrap(), 5.0);
         assert_eq!(j.num_field("median_ns").unwrap(), 200.0);
         assert_eq!(j.num_field("throughput_per_sec").unwrap(), 10.0 * 1e9 / 200.0);
         assert_eq!(j.num_field("threads").unwrap(), 4.0);

@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod profile;
 pub mod render;
 pub mod validate;

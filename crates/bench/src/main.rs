@@ -1,12 +1,14 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage:
-//! `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|all]`
+//! `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|profile|all]`
 //!
 //! `fig2` accepts an optional mesh divisor (default 4; 1 = the full D
-//! mesh, slower). `harness` accepts an optional timed-iteration count
+//! mesh, slower). `harness` accepts an optional timed-sample count
 //! (default 11) and writes `BENCH_kernels.json` / `BENCH_apps.json`.
-//! `all` prints everything except `validate` and `harness`.
+//! `profile` runs every app's instrumented calibration capture and
+//! writes `PROFILE_<app>.json` per-phase counter profiles. `all` prints
+//! everything except `validate`, `harness`, and `profile`.
 
 use bench::{experiments, render, validate};
 use report::paper;
@@ -69,6 +71,7 @@ fn main() {
                 args.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::harness::DEFAULT_ITERS);
             bench::harness::run(iters.max(1));
         }
+        "profile" => bench::profile::run(),
         "all" => {
             print!("{}", render::table1().render());
             println!();
@@ -101,7 +104,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|all"
+                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|profile|all"
             );
             std::process::exit(2);
         }

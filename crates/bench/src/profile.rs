@@ -1,0 +1,160 @@
+//! `repro profile` — structured per-phase profiles from measured captures.
+//!
+//! Runs every application's calibration capture (the same captures the
+//! measured Table 3–6 path consumes), derives a representative measured
+//! workload profile from each, and writes one `PROFILE_<app>.json` per
+//! application next to the `BENCH_*.json` artifacts. Each file carries
+//! the raw capture — per-phase hardware-style counters plus span
+//! timings — and the derived per-processor workload, so profile changes
+//! can be diffed across commits the same way bench results are.
+
+use hec_arch::WorkloadProfile;
+use hec_core::json::{Json, ToJson};
+use hec_core::probe::Capture;
+
+/// One application's profile artifact.
+pub struct AppProfile {
+    /// Application name as the tables spell it.
+    pub app: &'static str,
+    /// The production configuration the workload was rescaled to.
+    pub config: String,
+    /// Named calibration captures (PARATEC has two; the rest one).
+    pub captures: Vec<(&'static str, Capture)>,
+    /// The measured per-processor workload derived from the captures.
+    pub workload: WorkloadProfile,
+}
+
+impl ToJson for AppProfile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("app", Json::Str(self.app.to_string())),
+            ("config", Json::Str(self.config.clone())),
+            (
+                "captures",
+                Json::Arr(
+                    self.captures
+                        .iter()
+                        .map(|(name, cap)| {
+                            Json::obj([
+                                ("name", Json::Str(name.to_string())),
+                                ("capture", cap.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("workload", self.workload.to_json()),
+        ])
+    }
+}
+
+/// Collects all four applications' profiles at a representative Table
+/// 3–6 operating point (P = 256 everywhere it is feasible).
+pub fn collect() -> Vec<AppProfile> {
+    let mut out = Vec::new();
+
+    out.push(AppProfile {
+        app: "GTC",
+        config: "P=256, 100 particles/cell".into(),
+        captures: vec![("calibration", gtc::model::calibration_capture().clone())],
+        workload: gtc::model::measured_workload(256),
+    });
+
+    out.push(AppProfile {
+        app: "LBMHD3D",
+        config: "P=256, 512^3 grid".into(),
+        captures: vec![("calibration", lbmhd::model::calibration_capture().clone())],
+        workload: lbmhd::model::measured_workload(512, 256),
+    });
+
+    {
+        use fvcam::model::FvConfig;
+        let base = FvConfig { procs: 256, pz: 4, threads: 1 };
+        let workload = fvcam::model::measured_workload(base)
+            .or_else(|| fvcam::model::measured_workload(FvConfig { threads: 4, ..base }))
+            .expect("FVCAM P=256 Pz=4 must be feasible with 1 or 4 threads");
+        out.push(AppProfile {
+            app: "FVCAM",
+            config: "P=256, 2D Pz=4, D mesh".into(),
+            captures: vec![("calibration", fvcam::model::calibration_capture().clone())],
+            workload,
+        });
+    }
+
+    {
+        let cal = paratec::model::calibration();
+        out.push(AppProfile {
+            app: "PARATEC",
+            config: "P=256, 488-atom CdSe".into(),
+            captures: vec![("fft", cal.fft.clone()), ("gemm", cal.gemm.clone())],
+            workload: paratec::model::measured_workload(256),
+        });
+    }
+
+    out
+}
+
+fn file_name(app: &str) -> String {
+    format!("PROFILE_{}.json", app.to_lowercase())
+}
+
+/// Runs the captures, prints a per-phase summary, and writes one
+/// `PROFILE_<app>.json` per application in the current directory.
+pub fn run() {
+    for p in collect() {
+        println!("== {} ({}) ==", p.app, p.config);
+        for (name, cap) in &p.captures {
+            for (phase, c) in cap.deterministic() {
+                let t = cap
+                    .timings
+                    .get(phase)
+                    .map(|s| format!("  {:.3} ms over {} spans", s.total_ns as f64 / 1e6, s.calls))
+                    .unwrap_or_default();
+                println!(
+                    "  {name:<12} {phase:<28} {:>14} flops  {:>14} B unit-stride{t}",
+                    c.flops,
+                    c.unit_stride_bytes + c.gather_scatter_bytes,
+                );
+            }
+        }
+        println!("  derived workload ({} phases):", p.workload.phases.len());
+        for ph in &p.workload.phases {
+            println!("    {:<28} {:>14.3e} flops/proc/step", ph.name, ph.flops);
+        }
+        let path = file_name(p.app);
+        let doc =
+            Json::obj([("source", Json::Str("repro profile".into())), ("profile", p.to_json())]);
+        match std::fs::write(&path, doc.emit_pretty() + "\n") {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_core::json::FromJson;
+
+    #[test]
+    fn every_app_profile_round_trips_through_json() {
+        for p in collect() {
+            let text = p.to_json().emit_pretty();
+            let parsed = Json::parse(&text).unwrap();
+            assert_eq!(parsed.field("app").unwrap().as_str().unwrap(), p.app);
+            // The embedded captures parse back to identical counter maps.
+            let Json::Arr(caps) = parsed.field("captures").unwrap() else { panic!() };
+            assert_eq!(caps.len(), p.captures.len());
+            for (j, (_, cap)) in caps.iter().zip(&p.captures) {
+                let back = Capture::from_json(j.field("capture").unwrap()).unwrap();
+                assert_eq!(back.deterministic(), cap.deterministic());
+            }
+            // The workload is non-trivial: every phase carries real work.
+            assert!(!p.workload.phases.is_empty());
+            for ph in &p.workload.phases {
+                assert!(ph.flops > 0.0, "{}: {}", p.app, ph.name);
+            }
+        }
+    }
+}

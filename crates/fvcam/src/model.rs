@@ -9,13 +9,16 @@
 //! mechanism that keeps the vectorized-FFT batch (and thus the vector
 //! length) from collapsing.
 
-use hec_arch::{CommEvent, PhaseProfile, WorkloadProfile};
+use std::sync::OnceLock;
+
+use hec_arch::{CommEvent, PhaseBinding, PhaseProfile, WorkloadProfile};
+use hec_core::probe::{self, Capture};
 
 use crate::advect::FLOPS_PER_CELL;
 use crate::decomp::Decomp;
 use crate::grid::SphereGrid;
 use crate::polar::{filtered_rows_global, PolarFilter};
-use crate::sim::PHYSICS_FLOPS_PER_POINT;
+use crate::sim::{FvParams, FvSim, PHYSICS_FLOPS_PER_POINT};
 use crate::vertical::remap_flops;
 
 /// One Table 3 configuration.
@@ -54,8 +57,21 @@ pub fn workload(config: FvConfig) -> Option<WorkloadProfile> {
     workload_on(&grid, config)
 }
 
-/// [`workload`] for an arbitrary grid (used by the validation tests).
-pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfile> {
+/// The pacing rank's block of one decomposition: rank 0's latitude band
+/// (largest, and polar — it also carries the filter load), level group,
+/// and longitude chunk.
+struct Pacing {
+    nlat_loc: usize,
+    nlev_loc: usize,
+    nlon_chunk: usize,
+    decomp: Decomp,
+}
+
+/// Decomposition arithmetic shared by the analytic and measured builders.
+/// `None` when the configuration is infeasible (fewer than 3 latitude
+/// rows per MPI rank, or a vertical split finer than the level count) —
+/// the "—" entries of Table 3.
+fn pacing_block(grid: &SphereGrid, config: FvConfig) -> Option<Pacing> {
     let FvConfig { procs, pz, threads } = config;
     if procs % threads != 0 {
         return None;
@@ -65,14 +81,19 @@ pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfil
         return None;
     }
     let decomp = if pz == 1 { Decomp::one_d(ranks) } else { Decomp::two_d(ranks, pz) };
-    // Pacing rank: the first latitude band (largest, and polar — it also
-    // carries the filter load).
     let (_, nlat_loc) = decomp.lat_band(grid.nlat, 0);
     if nlat_loc < 3 {
         return None; // the model's "three latitude lines" limit (§3.2)
     }
     let (_, nlev_loc) = decomp.lev_group(grid.nlev, 0);
     let (_, nlon_chunk) = decomp.lon_chunk(grid.nlon, 0);
+    Some(Pacing { nlat_loc, nlev_loc, nlon_chunk, decomp })
+}
+
+/// [`workload`] for an arbitrary grid (used by the validation tests).
+pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfile> {
+    let FvConfig { procs, pz, threads } = config;
+    let Pacing { nlat_loc, nlev_loc, nlon_chunk, decomp } = pacing_block(grid, config)?;
     let t = threads as f64;
 
     let mut w = WorkloadProfile::new("FVCAM", procs);
@@ -160,6 +181,67 @@ pub fn workload_on(grid: &SphereGrid, config: FvConfig) -> Option<WorkloadProfil
     Some(w)
 }
 
+/// One small instrumented run, cached process-wide: a latitude-reduced D
+/// mesh (full 576-longitude lines and all 26 levels, so the per-row
+/// filter cost and per-column remap cost are the production rates) on 4
+/// ranks with a vertical split, one step.
+pub fn calibration_capture() -> &'static Capture {
+    static CAP: OnceLock<Capture> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let params =
+            FvParams { nlon: 576, nlat: 19, nlev: 26, pz: 2, courant: 0.3, ..Default::default() };
+        let (_, cap) = probe::capture(|| {
+            msim::run(4, move |comm| {
+                let mut sim = FvSim::new(params, comm.rank(), comm.size());
+                sim.step(comm);
+            })
+            .expect("FVCAM calibration run failed");
+        });
+        cap
+    })
+}
+
+/// [`workload`] on the D mesh with every extensive field replaced by
+/// measured per-unit rates from [`calibration_capture`]: per-cell for
+/// the dynamics, per-filtered-row for the polar FFTs, per-column for
+/// remap+physics. Shape fields and communication events stay analytic.
+pub fn measured_workload(config: FvConfig) -> Option<WorkloadProfile> {
+    let grid = SphereGrid::d_mesh();
+    let mut w = workload_on(&grid, config)?;
+    let Pacing { nlat_loc, nlev_loc, nlon_chunk, .. } = pacing_block(&grid, config)?;
+    let t = config.threads as f64;
+    let cap = calibration_capture();
+
+    let cells = (grid.nlon * nlat_loc * nlev_loc) as f64;
+    let cap_rows = filtered_rows_global(&grid) / 2;
+    let rows = nlat_loc.min(cap_rows) as f64 * nlev_loc as f64;
+    let columns = (nlon_chunk * nlat_loc) as f64;
+
+    // Calibration-unit denominators: cells from the innermost trip
+    // count, rows and columns from the vector-loop (outer) counts.
+    let dyn_units = cap.get("fvcam/fv dynamics").vector_iters as f64;
+    let row_units = cap.get("fvcam/polar filter FFTs").vector_loops as f64;
+    let col_units = cap.get("fvcam/remap + physics").vector_loops as f64;
+    w.apply_capture(
+        cap,
+        &[
+            PhaseBinding::extensive("fvcam/fv dynamics", "fv dynamics", cells / t / dyn_units),
+            PhaseBinding::extensive(
+                "fvcam/polar filter FFTs",
+                "polar filter FFTs",
+                rows / t / row_units,
+            ),
+            PhaseBinding::extensive(
+                "fvcam/remap + physics",
+                "remap + physics",
+                columns / t / col_units,
+            ),
+        ],
+    )
+    .expect("FVCAM calibration capture is incomplete");
+    Some(w)
+}
+
 /// Simulated days per wall-clock day (Figure 4's metric) given the
 /// predicted seconds per timestep. The D-mesh production configuration
 /// takes `steps_per_day` dynamics steps per simulated day.
@@ -216,6 +298,50 @@ mod tests {
         let (_, halo, transpose) = measured[0];
         assert_eq!(halo as f64, analytic_halo, "halo bytes");
         assert_eq!(transpose as f64, analytic_transpose, "transpose bytes");
+    }
+
+    #[test]
+    fn measured_workload_agrees_with_the_analytic_oracle() {
+        // The calibration run executes full 576-point longitude lines and
+        // all 26 levels, so its per-cell / per-row / per-column rates are
+        // the production rates; only per-rank `.round()` rounding in the
+        // analytic builder keeps this from being bitwise.
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1.0);
+        for config in [
+            FvConfig { procs: 32, pz: 1, threads: 1 },
+            FvConfig { procs: 128, pz: 4, threads: 1 },
+            FvConfig { procs: 256, pz: 1, threads: 4 },
+        ] {
+            let a = workload(config).unwrap();
+            let m = measured_workload(config).unwrap();
+            assert_eq!(a.phases.len(), m.phases.len());
+            for (pa, pm) in a.phases.iter().zip(&m.phases) {
+                assert!(
+                    rel(pm.flops, pa.flops) <= 1e-6,
+                    "{}: flops {} vs {}",
+                    pa.name,
+                    pm.flops,
+                    pa.flops
+                );
+                assert!(
+                    rel(pm.unit_stride_bytes, pa.unit_stride_bytes) <= 1e-6,
+                    "{}: us bytes {} vs {}",
+                    pa.name,
+                    pm.unit_stride_bytes,
+                    pa.unit_stride_bytes
+                );
+                assert!(
+                    rel(pm.gather_scatter_bytes, pa.gather_scatter_bytes) <= 1e-6,
+                    "{}: gs bytes",
+                    pa.name
+                );
+                // Shape fields are model parameters and survive the overlay.
+                assert_eq!(pm.vector_fraction, pa.vector_fraction, "{}", pa.name);
+                assert_eq!(pm.avg_vector_length, pa.avg_vector_length, "{}", pa.name);
+                assert_eq!(pm.cacheable_fraction, pa.cacheable_fraction, "{}", pa.name);
+            }
+            assert_eq!(m.comm, a.comm);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!    imbalanced the way day/night radiation is.
 
 use hec_core::pool::Threads;
+use hec_core::probe::{self, Counters};
 use msim::Comm;
 
 use crate::advect::{advect_meridional_with, advect_zonal_with, block_mass, FLOPS_PER_CELL};
@@ -179,6 +180,8 @@ impl FvSim {
         self.counters.halo_bytes +=
             exchange_lat_halos(comm, &self.decomp, &mut self.cy, self.rank, tag + 2) as u64;
         let nlev_loc = self.q.len();
+        let cells0 = self.counters.cells_advected;
+        let rows0 = self.counters.rows_filtered;
         for k in 0..nlev_loc {
             advect_zonal_with(&self.threads, &mut self.q[k], &self.cx[k]);
         }
@@ -197,6 +200,33 @@ impl FvSim {
             self.counters.rows_filtered +=
                 self.filter.apply(&self.grid, &mut self.q[k], self.lat0) as u64;
         }
+        // Advection events from the audited per-cell constant × the cells
+        // actually advected; the vectorizable loop is one latitude row.
+        let cells = self.counters.cells_advected - cells0;
+        probe::count(
+            "fvcam/fv dynamics",
+            Counters {
+                flops: cells * FLOPS_PER_CELL as u64,
+                unit_stride_bytes: cells * 48,
+                gather_scatter_bytes: cells * 2,
+                vector_iters: cells,
+                vector_loops: cells / self.grid.nlon.max(1) as u64,
+                ..Default::default()
+            },
+        );
+        // Filter flops per row are 2 FFTs + the damping scale; non-integral
+        // for non-power-of-two nlon, so round once at step granularity.
+        let rows = self.counters.rows_filtered - rows0;
+        probe::count(
+            "fvcam/polar filter FFTs",
+            Counters {
+                flops: (rows as f64 * self.filter.flops_per_row()).round() as u64,
+                unit_stride_bytes: rows * self.grid.nlon as u64 * 64,
+                vector_iters: rows * self.grid.nlon as u64,
+                vector_loops: rows,
+                ..Default::default()
+            },
+        );
 
         // --- Vertical coupling: a geopotential-like reduction over the Pz
         // level groups of this latitude band (sub-communicator Allreduce in
@@ -228,6 +258,7 @@ impl FvSim {
         let (mut cols, sent) =
             transpose_to_columns(comm, &self.grid, &self.decomp, &self.q, self.rank, tag + 4);
         self.counters.transpose_bytes += sent as u64;
+        let cols0 = self.counters.columns_remapped;
         let ref_edges: Vec<f64> =
             (0..=self.grid.nlev).map(|k| k as f64 / self.grid.nlev as f64).collect();
         let drift: Vec<f64> = (0..=self.grid.nlev)
@@ -253,6 +284,23 @@ impl FvSim {
                 cols.set_column(j, i, &col);
             }
         }
+
+        // Remap + physics are column-local; one column of nlev points is
+        // the vectorizable unit.
+        let ncols = self.counters.columns_remapped - cols0;
+        let nlev = self.grid.nlev as u64;
+        probe::count(
+            "fvcam/remap + physics",
+            Counters {
+                flops: (ncols as f64
+                    * (remap_flops(self.grid.nlev) + PHYSICS_FLOPS_PER_POINT * nlev as f64))
+                    .round() as u64,
+                unit_stride_bytes: ncols * nlev * 32,
+                vector_iters: ncols * nlev,
+                vector_loops: ncols,
+                ..Default::default()
+            },
+        );
 
         self.counters.transpose_bytes += transpose_to_levels(
             comm,

@@ -14,6 +14,7 @@
 //! matching process of the neighbor wedge.
 
 use hec_core::pool::Threads;
+use hec_core::probe::{self, Counters};
 use msim::{Comm, ReduceOp};
 
 use crate::deposit::{deposit_threaded, FLOPS_PER_PARTICLE as DEPOSIT_FLOPS};
@@ -183,7 +184,7 @@ impl GtcSim {
         // the work-vector method across threads (private grid copies,
         // fixed-order reduction — bitwise invariant in the worker count).
         let mut charge: Vec<Vec<f64>> = (0..=mzeta).map(|_| vec![0.0; plane_len]).collect();
-        self.counters.deposited += deposit_threaded(
+        let deposited = deposit_threaded(
             &grid,
             &self.particles,
             &mut charge,
@@ -191,6 +192,21 @@ impl GtcSim {
             self.dzeta(),
             &self.threads,
         ) as u64;
+        self.counters.deposited += deposited;
+        // Deposition events from the audited per-marker constants × the
+        // markers actually deposited — identical for any worker count.
+        probe::count(
+            "gtc/charge deposition",
+            Counters {
+                flops: deposited * DEPOSIT_FLOPS as u64,
+                unit_stride_bytes: deposited * ATTRS as u64 * 8,
+                gather_scatter_bytes: deposited * crate::deposit::SCATTER_POINTS as u64 * 16,
+                gather_scatter_ops: deposited * crate::deposit::SCATTER_POINTS as u64,
+                vector_iters: deposited,
+                vector_loops: 1,
+                ..Default::default()
+            },
+        );
 
         // --- Merge charge over the particle decomposition (the Allreduce
         // the paper's new algorithm introduces).
@@ -235,10 +251,25 @@ impl GtcSim {
                 })
                 .collect::<Vec<_>>(),
         );
+        let mut step_cg = 0u64;
         for (z, (phi, iters)) in results.into_iter().enumerate() {
-            self.counters.cg_iterations += iters as u64;
+            step_cg += iters as u64;
             self.fields.phi[z] = phi;
         }
+        self.counters.cg_iterations += step_cg;
+        // Each CG iteration applies the 15-flop/point operator plus the
+        // 10-flop/point vector updates and streams ~5 arrays per point.
+        let per_cg = crate::poisson::operator_flops(&grid) as u64 + 10 * plane_len as u64;
+        probe::count(
+            "gtc/poisson solve",
+            Counters {
+                flops: step_cg * per_cg,
+                unit_stride_bytes: step_cg * 40 * plane_len as u64,
+                vector_iters: step_cg * plane_len as u64,
+                vector_loops: step_cg,
+                ..Default::default()
+            },
+        );
 
         // --- E = −∇φ, then fetch the ghost plane's field from the next
         // domain (its plane 0).
@@ -267,8 +298,33 @@ impl GtcSim {
             self.dzeta(),
             &self.threads,
         );
-        self.counters.pushed +=
+        let pushed =
             push_threaded(&grid, &mut self.particles, &field, self.params.dt, &self.threads) as u64;
+        self.counters.pushed += pushed;
+        // The gather reads 64 stencil values per marker (2 components ×
+        // 2 planes × 16 points); the push streams the marker arrays.
+        probe::count(
+            "gtc/field gather",
+            Counters {
+                flops: pushed * GATHER_FLOPS_PER_PARTICLE as u64,
+                unit_stride_bytes: pushed * ATTRS as u64 * 8,
+                gather_scatter_bytes: pushed * 64 * 8,
+                gather_scatter_ops: pushed * 64,
+                vector_iters: pushed,
+                vector_loops: 1,
+                ..Default::default()
+            },
+        );
+        probe::count(
+            "gtc/particle push",
+            Counters {
+                flops: pushed * PUSH_FLOPS_PER_PARTICLE as u64,
+                unit_stride_bytes: pushed * ATTRS as u64 * 16,
+                vector_iters: pushed,
+                vector_loops: 1,
+                ..Default::default()
+            },
+        );
 
         // --- Shift escaped markers to the toroidal neighbors.
         self.shift(world);

@@ -12,13 +12,18 @@
 //! * [`sync`] — poison-tolerant `Mutex`/`Condvar` wrappers, replacing
 //!   `parking_lot` (msim ranks unwind through held locks by design);
 //! * [`pool`] — scoped-thread `par_map`/`par_chunks_mut`, replacing
-//!   `rayon` for the OpenMP-style loops of the mini-apps.
+//!   `rayon` for the OpenMP-style loops of the mini-apps;
+//! * [`probe`] — phase-scoped event counters and wall-clock spans: the
+//!   capture layer the kernels and apps report measured workload
+//!   characteristics through (deterministic `u64` event sums, free when
+//!   disabled).
 //!
 //! Everything is deliberately small: the suite needs determinism and
 //! hermeticity, not feature breadth.
 
 pub mod json;
 pub mod pool;
+pub mod probe;
 pub mod rng;
 pub mod sync;
 

@@ -81,6 +81,20 @@ impl Threads {
         self.workers <= 1
     }
 
+    /// A handle clamped so every worker gets at least
+    /// `min_units_per_worker` of the `units` of work — the serial-cutoff
+    /// rule for cheap element-wise loops, where spawn cost (~10 µs per
+    /// thread) swamps the per-element work. With fewer than
+    /// `2 × min_units_per_worker` units the result is serial; the worker
+    /// count never exceeds `self.workers()`.
+    ///
+    /// `min_units_per_worker == 0` is treated as 1 (no clamping beyond
+    /// the existing worker count).
+    pub fn clamp_for(&self, units: usize, min_units_per_worker: usize) -> Threads {
+        let per = min_units_per_worker.max(1);
+        Threads { workers: self.workers.min(units / per).max(1) }
+    }
+
     /// Applies `f` to every element of `items`, returning the results in
     /// input order. Equivalent to `items.iter().map(f).collect()` —
     /// including panic propagation: if any invocation panics, the panic
@@ -307,6 +321,20 @@ mod tests {
         let out = Threads::new(8).par_map(&items, |&x| x + 1);
         let seq: Vec<usize> = items.iter().map(|&x| x + 1).collect();
         assert_eq!(out, seq);
+    }
+
+    #[test]
+    fn clamp_for_selects_serial_below_the_cutoff() {
+        let t = Threads::new(4);
+        // Not enough work for even two workers: serial.
+        assert!(t.clamp_for(4096, 32 * 1024).is_serial());
+        assert!(t.clamp_for(0, 1024).is_serial());
+        // Enough for two but not four.
+        assert_eq!(t.clamp_for(80_000, 32 * 1024).workers(), 2);
+        // Plenty of work: the full worker count survives.
+        assert_eq!(t.clamp_for(1 << 20, 32 * 1024).workers(), 4);
+        // min 0 behaves as min 1 (no division by zero).
+        assert_eq!(t.clamp_for(8, 0).workers(), 4);
     }
 
     #[test]

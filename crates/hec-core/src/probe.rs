@@ -1,0 +1,427 @@
+//! Lightweight in-process observability: phase counters and spans.
+//!
+//! The paper's methodology rests on *measured* workload characteristics —
+//! flop counts, memory-traffic classes, vector lengths — feeding the
+//! architectural model. This module is the capture layer: kernels and
+//! apps report hardware-style event counts per named phase, and a
+//! [`capture`] run snapshots them for the model (`hec-arch`) and the
+//! `repro profile` command.
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Determinism.** Every counter is a `u64` event count, so the
+//!    global per-phase totals are order-invariant sums: captures taken at
+//!    `HEC_THREADS=1/2/4` are identical bit for bit. Call sites report
+//!    quantities derived from the *work executed* (particles deposited,
+//!    lattice points updated, CG iterations run), never from how the work
+//!    was chunked across workers. Wall-clock spans are kept in a separate
+//!    table ([`Capture::timings`]) and are explicitly outside the
+//!    determinism contract.
+//! 2. **Disabled ⇒ free.** Probes check one relaxed atomic load and
+//!    return; no locks are touched and no state is created. Counting
+//!    happens at phase/bulk granularity (once per kernel call or per
+//!    fixed-size chunk), never per element, so the enabled path is cheap
+//!    too.
+//! 3. **Captures are exclusive.** [`capture`] serializes on a global
+//!    session lock: concurrent test threads each see only their own
+//!    events. Captures must not nest (the second would deadlock).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::json::{FromJson, Json, JsonError, ToJson};
+use crate::sync::Mutex;
+
+/// Event counts for one phase. All fields are exact integer event sums,
+/// so cross-thread accumulation is order-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Double-precision floating-point operations.
+    pub flops: u64,
+    /// Unit-stride (streaming) memory traffic in bytes, loads + stores.
+    pub unit_stride_bytes: u64,
+    /// Randomly indexed (gather/scatter) traffic in bytes.
+    pub gather_scatter_bytes: u64,
+    /// Individual gather/scatter element accesses.
+    pub gather_scatter_ops: u64,
+    /// Total innermost-loop trip count (sum over vector-loop executions).
+    pub vector_iters: u64,
+    /// Number of innermost vector-loop executions. Together with
+    /// `vector_iters` this yields the measured average vector length.
+    pub vector_loops: u64,
+    /// Point-to-point messages sent.
+    pub messages: u64,
+    /// Point-to-point payload bytes sent.
+    pub message_bytes: u64,
+    /// Collective operations entered.
+    pub collectives: u64,
+    /// Collective payload bytes contributed by this rank.
+    pub collective_bytes: u64,
+}
+
+impl Counters {
+    /// Element-wise sum of two counter sets.
+    pub fn merge(&mut self, other: &Counters) {
+        self.flops += other.flops;
+        self.unit_stride_bytes += other.unit_stride_bytes;
+        self.gather_scatter_bytes += other.gather_scatter_bytes;
+        self.gather_scatter_ops += other.gather_scatter_ops;
+        self.vector_iters += other.vector_iters;
+        self.vector_loops += other.vector_loops;
+        self.messages += other.messages;
+        self.message_bytes += other.message_bytes;
+        self.collectives += other.collectives;
+        self.collective_bytes += other.collective_bytes;
+    }
+
+    /// Measured average vector length: trip count per vector-loop
+    /// execution. 0 when the phase recorded no vector loops.
+    pub fn avg_vector_length(&self) -> f64 {
+        if self.vector_loops == 0 {
+            0.0
+        } else {
+            self.vector_iters as f64 / self.vector_loops as f64
+        }
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == Counters::default()
+    }
+}
+
+impl ToJson for Counters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("flops", Json::Num(self.flops as f64)),
+            ("unit_stride_bytes", Json::Num(self.unit_stride_bytes as f64)),
+            ("gather_scatter_bytes", Json::Num(self.gather_scatter_bytes as f64)),
+            ("gather_scatter_ops", Json::Num(self.gather_scatter_ops as f64)),
+            ("vector_iters", Json::Num(self.vector_iters as f64)),
+            ("vector_loops", Json::Num(self.vector_loops as f64)),
+            ("messages", Json::Num(self.messages as f64)),
+            ("message_bytes", Json::Num(self.message_bytes as f64)),
+            ("collectives", Json::Num(self.collectives as f64)),
+            ("collective_bytes", Json::Num(self.collective_bytes as f64)),
+        ])
+    }
+}
+
+impl FromJson for Counters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let u = |name: &str| -> Result<u64, JsonError> { Ok(v.num_field(name)? as u64) };
+        Ok(Counters {
+            flops: u("flops")?,
+            unit_stride_bytes: u("unit_stride_bytes")?,
+            gather_scatter_bytes: u("gather_scatter_bytes")?,
+            gather_scatter_ops: u("gather_scatter_ops")?,
+            vector_iters: u("vector_iters")?,
+            vector_loops: u("vector_loops")?,
+            messages: u("messages")?,
+            message_bytes: u("message_bytes")?,
+            collectives: u("collectives")?,
+            collective_bytes: u("collective_bytes")?,
+        })
+    }
+}
+
+/// Wall-clock statistics for one phase's spans. Timing is *not* part of
+/// the determinism contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Total nanoseconds spent inside spans of this phase.
+    pub total_ns: u64,
+    /// Number of completed spans.
+    pub calls: u64,
+}
+
+impl ToJson for SpanStat {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_ns", Json::Num(self.total_ns as f64)),
+            ("calls", Json::Num(self.calls as f64)),
+        ])
+    }
+}
+
+impl FromJson for SpanStat {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(SpanStat {
+            total_ns: v.num_field("total_ns")? as u64,
+            calls: v.num_field("calls")? as u64,
+        })
+    }
+}
+
+struct Registry {
+    counters: Mutex<BTreeMap<String, Counters>>,
+    timings: Mutex<BTreeMap<String, SpanStat>>,
+    session: Mutex<()>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: Mutex::new(BTreeMap::new()),
+        timings: Mutex::new(BTreeMap::new()),
+        session: Mutex::new(()),
+    })
+}
+
+/// True while a [`capture`] is in flight. Instrumented code should call
+/// this (or just [`count`], which checks internally) — one relaxed
+/// atomic load when disabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Adds `c` to the running totals of `phase`. A no-op (no locks, no
+/// allocation, no state) unless a capture is active.
+#[inline]
+pub fn count(phase: &str, c: Counters) {
+    if !enabled() {
+        return;
+    }
+    let mut map = registry().counters.lock();
+    map.entry(phase.to_string()).or_default().merge(&c);
+}
+
+/// An RAII wall-clock span: created by [`span`], records elapsed time
+/// into the phase's [`SpanStat`] on drop.
+pub struct Span {
+    phase: Option<(&'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((phase, start)) = self.phase.take() {
+            if enabled() {
+                let ns = start.elapsed().as_nanos() as u64;
+                let mut map = registry().timings.lock();
+                let s = map.entry(phase.to_string()).or_default();
+                s.total_ns += ns;
+                s.calls += 1;
+            }
+        }
+    }
+}
+
+/// Starts a monotonic timer for `phase`; the elapsed time is recorded
+/// when the returned [`Span`] drops. Free when no capture is active.
+#[inline]
+pub fn span(phase: &'static str) -> Span {
+    if !enabled() {
+        return Span { phase: None };
+    }
+    Span { phase: Some((phase, Instant::now())) }
+}
+
+/// A snapshot of everything counted during one [`capture`] run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Capture {
+    /// Per-phase deterministic event counters.
+    pub counters: BTreeMap<String, Counters>,
+    /// Per-phase wall-clock span statistics (non-deterministic).
+    pub timings: BTreeMap<String, SpanStat>,
+}
+
+impl Capture {
+    /// Counters for `phase`, or all-zero if the phase never reported.
+    pub fn get(&self, phase: &str) -> Counters {
+        self.counters.get(phase).copied().unwrap_or_default()
+    }
+
+    /// True when no phase recorded any event.
+    pub fn is_empty(&self) -> bool {
+        self.counters.values().all(Counters::is_zero)
+    }
+
+    /// The deterministic part only — what the threading-invariance tests
+    /// compare. (Timings are wall-clock and excluded by construction.)
+    pub fn deterministic(&self) -> &BTreeMap<String, Counters> {
+        &self.counters
+    }
+}
+
+impl ToJson for Capture {
+    fn to_json(&self) -> Json {
+        let phases: Vec<Json> = self
+            .counters
+            .iter()
+            .map(|(name, c)| {
+                let mut fields = vec![
+                    ("phase".to_string(), Json::Str(name.clone())),
+                    ("counters".to_string(), c.to_json()),
+                    ("avg_vector_length".to_string(), Json::Num(c.avg_vector_length())),
+                ];
+                if let Some(t) = self.timings.get(name) {
+                    fields.push(("timing".to_string(), t.to_json()));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::obj([("phases", Json::Arr(phases))])
+    }
+}
+
+impl FromJson for Capture {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut cap = Capture::default();
+        let Json::Arr(phases) = v.field("phases")? else {
+            return Err(JsonError::new("capture 'phases' must be an array"));
+        };
+        for p in phases {
+            let name = p.str_field("phase")?.to_string();
+            cap.counters.insert(name.clone(), Counters::from_json(p.field("counters")?)?);
+            if let Ok(t) = p.field("timing") {
+                cap.timings.insert(name, SpanStat::from_json(t)?);
+            }
+        }
+        Ok(cap)
+    }
+}
+
+/// Runs `f` with probes enabled and returns its result together with the
+/// capture of everything counted while it ran.
+///
+/// Captures are serialized process-wide (concurrent callers queue on a
+/// session lock), so parallel test threads never see each other's
+/// events. Captures must not nest — a nested call deadlocks by design
+/// rather than silently merging two scopes.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Capture) {
+    let reg = registry();
+    let _session = reg.session.lock();
+    reg.counters.lock().clear();
+    reg.timings.lock().clear();
+    ENABLED.store(true, Ordering::SeqCst);
+    // Disable even if `f` unwinds, so a failed capture cannot leak an
+    // enabled probe state into unrelated code.
+    struct DisableOnDrop;
+    impl Drop for DisableOnDrop {
+        fn drop(&mut self) {
+            ENABLED.store(false, Ordering::SeqCst);
+        }
+    }
+    let guard = DisableOnDrop;
+    let out = f();
+    drop(guard);
+    let cap = Capture {
+        counters: std::mem::take(&mut *reg.counters.lock()),
+        timings: std::mem::take(&mut *reg.timings.lock()),
+    };
+    (out, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_probes_record_nothing() {
+        assert!(!enabled());
+        count("ghost phase", Counters { flops: 1, ..Default::default() });
+        drop(span("ghost span"));
+        let ((), cap) = capture(|| {});
+        assert!(cap.is_empty(), "events outside a capture must vanish: {cap:?}");
+        assert!(cap.timings.is_empty());
+    }
+
+    #[test]
+    fn capture_collects_counts_and_spans() {
+        let (val, cap) = capture(|| {
+            count("alpha", Counters { flops: 10, unit_stride_bytes: 80, ..Default::default() });
+            count(
+                "alpha",
+                Counters { flops: 5, vector_iters: 64, vector_loops: 2, ..Default::default() },
+            );
+            count("beta", Counters { messages: 3, message_bytes: 24, ..Default::default() });
+            let _s = span("alpha");
+            42
+        });
+        assert_eq!(val, 42);
+        let a = cap.get("alpha");
+        assert_eq!(a.flops, 15);
+        assert_eq!(a.unit_stride_bytes, 80);
+        assert_eq!(a.avg_vector_length(), 32.0);
+        assert_eq!(cap.get("beta").messages, 3);
+        assert_eq!(cap.get("missing"), Counters::default());
+        assert_eq!(cap.timings["alpha"].calls, 1);
+    }
+
+    #[test]
+    fn captures_are_isolated_between_runs() {
+        let ((), first) = capture(|| count("x", Counters { flops: 1, ..Default::default() }));
+        let ((), second) = capture(|| {});
+        assert_eq!(first.get("x").flops, 1);
+        assert!(second.is_empty(), "second capture must start clean");
+        assert!(!enabled(), "probes must be disabled after a capture");
+    }
+
+    #[test]
+    fn cross_thread_counts_sum_exactly() {
+        let ((), cap) = capture(|| {
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        for _ in 0..100 {
+                            count(
+                                "sum",
+                                Counters {
+                                    flops: 3,
+                                    vector_iters: 8,
+                                    vector_loops: 1,
+                                    ..Default::default()
+                                },
+                            );
+                        }
+                    });
+                }
+            });
+        });
+        let c = cap.get("sum");
+        assert_eq!(c.flops, 1200);
+        assert_eq!(c.vector_iters, 3200);
+        assert_eq!(c.vector_loops, 400);
+    }
+
+    #[test]
+    fn capture_json_round_trips() {
+        let ((), cap) = capture(|| {
+            count(
+                "k",
+                Counters {
+                    flops: 7,
+                    gather_scatter_ops: 2,
+                    collectives: 1,
+                    collective_bytes: 8,
+                    ..Default::default()
+                },
+            );
+            let _s = span("k");
+        });
+        let text = cap.to_json().emit_pretty();
+        let back = Capture::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.counters, cap.counters);
+        assert_eq!(back.timings, cap.timings);
+    }
+
+    #[test]
+    fn capture_disables_probes_after_a_panic() {
+        let r = std::panic::catch_unwind(|| {
+            capture(|| {
+                count("doomed", Counters { flops: 1, ..Default::default() });
+                panic!("capture body failed");
+            })
+        });
+        assert!(r.is_err());
+        assert!(!enabled(), "a panicking capture must still disable probes");
+        // The session lock recovered (poison-tolerant): a new capture works.
+        let ((), cap) = capture(|| count("next", Counters { flops: 2, ..Default::default() }));
+        assert_eq!(cap.get("next").flops, 2);
+    }
+}

@@ -9,9 +9,58 @@
 
 use crate::complex::Complex64;
 use hec_core::pool::Threads;
+use hec_core::probe::{self, Counters};
 
 /// Cache block edge for the tiled matrix kernels.
 const BLOCK: usize = 48;
+
+/// Minimum flops per worker before the `par_*` GEMMs spawn threads:
+/// below this the spawn cost exceeds the banded work (the small-size
+/// dispatch regression in BENCH_kernels.json), so the handle is clamped
+/// toward serial.
+pub const GEMM_MIN_FLOPS_PER_WORKER: u64 = 8 * 1024 * 1024;
+
+/// Records the probe events of one `m×n×k` real GEMM. Counted once per
+/// API call (never per band), so captures are identical for any worker
+/// count. The innermost vectorizable loop is the `jmax-j0`-long row
+/// update; it runs once per `(i, p, j0)` triple.
+fn count_dgemm(m: usize, n: usize, k: usize) {
+    if !probe::enabled() {
+        return;
+    }
+    let (m, n, k) = (m as u64, n as u64, k as u64);
+    probe::count(
+        "kernels/dgemm",
+        Counters {
+            flops: 2 * m * n * k,
+            // Each inner iteration streams B (read) and C (read+write);
+            // A is re-read once per (i, p) pair.
+            unit_stride_bytes: m * n * k * 24 + m * k * 8,
+            vector_iters: m * n * k,
+            vector_loops: m * k * n.div_ceil(BLOCK as u64),
+            ..Default::default()
+        },
+    );
+}
+
+/// Records the probe events of one `m×n×k` complex GEMM (8 flops per
+/// multiply-add term). Counted once per API call — see [`count_dgemm`].
+fn count_zgemm(m: usize, n: usize, k: usize) {
+    if !probe::enabled() {
+        return;
+    }
+    let (m, n, k) = (m as u64, n as u64, k as u64);
+    probe::count(
+        "kernels/zgemm",
+        Counters {
+            flops: 8 * m * n * k,
+            unit_stride_bytes: m * n * k * 48 + m * k * 16,
+            vector_iters: m * n * k,
+            vector_loops: m * k * n.div_ceil(BLOCK as u64),
+            ..Default::default()
+        },
+    );
+}
 
 /// `C ← alpha · A·B + beta · C` for row-major `f64` matrices.
 ///
@@ -32,6 +81,7 @@ pub fn dgemm(
     assert_eq!(a.len(), m * k, "A dimension mismatch");
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    count_dgemm(m, n, k);
     dgemm_rows(0, n, k, alpha, a, b, beta, c);
 }
 
@@ -103,6 +153,9 @@ pub fn par_dgemm(
     if m == 0 || n == 0 {
         return;
     }
+    count_dgemm(m, n, k);
+    let min_rows = (GEMM_MIN_FLOPS_PER_WORKER / (2 * (n * k).max(1)) as u64).max(1) as usize;
+    let threads = threads.clamp_for(m, min_rows);
     let band = m.div_ceil(threads.workers()).max(1);
     threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
         dgemm_rows(band_idx * band, n, k, alpha, a, b, beta, c_band);
@@ -139,6 +192,7 @@ pub fn zgemm(
     }
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    count_zgemm(m, n, k);
     zgemm_rows(ta, 0, m, n, k, alpha, a, b, beta, c);
 }
 
@@ -217,6 +271,9 @@ pub fn par_zgemm(
     if m == 0 || n == 0 {
         return;
     }
+    count_zgemm(m, n, k);
+    let min_rows = (GEMM_MIN_FLOPS_PER_WORKER / (8 * (n * k).max(1)) as u64).max(1) as usize;
+    let threads = threads.clamp_for(m, min_rows);
     let band = m.div_ceil(threads.workers()).max(1);
     threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
         zgemm_rows(ta, band_idx * band, m, n, k, alpha, a, b, beta, c_band);
@@ -414,6 +471,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn par_gemms_clamp_small_problems_serial() {
+        // BENCH_kernels.json showed dgemm_64..128 slower under /t4 than
+        // /t1: below the flop floor the clamped handle must be serial.
+        let t = Threads::new(4);
+        let min_rows_128 = (GEMM_MIN_FLOPS_PER_WORKER / (2 * 128 * 128)) as usize;
+        assert!(t.clamp_for(128, min_rows_128).is_serial());
+        let min_rows_512 = (GEMM_MIN_FLOPS_PER_WORKER / (2 * 512 * 512)) as usize;
+        assert_eq!(t.clamp_for(512, min_rows_512).workers(), 4);
+    }
+
+    #[test]
+    fn gemm_probe_counts_match_the_documented_constants() {
+        use hec_core::probe;
+        let (m, n, k) = (7usize, 50, 9);
+        let a = mat(m, k, |i, j| (i + j) as f64 + 1.0);
+        let b = mat(k, n, |i, j| (i * 2 + j) as f64 * 0.5);
+        let az: Vec<Complex64> = a.iter().map(|&x| Complex64::real(x)).collect();
+        let bz: Vec<Complex64> = b.iter().map(|&x| Complex64::real(x)).collect();
+        let ((), cap) = probe::capture(|| {
+            let mut c = vec![0.0; m * n];
+            dgemm(m, n, k, 1.0, &a, &b, 0.0, &mut c);
+            let mut cz = vec![Complex64::ZERO; m * n];
+            par_zgemm(
+                &Threads::new(2),
+                Trans::None,
+                m,
+                n,
+                k,
+                Complex64::ONE,
+                &az,
+                &bz,
+                Complex64::ZERO,
+                &mut cz,
+            );
+        });
+        let (mu, nu, ku) = (m as u64, n as u64, k as u64);
+        let d = cap.get("kernels/dgemm");
+        assert_eq!(d.flops, 2 * mu * nu * ku);
+        assert_eq!(d.unit_stride_bytes, mu * nu * ku * 24 + mu * ku * 8);
+        assert_eq!(d.vector_iters, mu * nu * ku);
+        assert_eq!(d.vector_loops, mu * ku * nu.div_ceil(BLOCK as u64));
+        let z = cap.get("kernels/zgemm");
+        assert_eq!(z.flops, 8 * mu * nu * ku);
+        assert_eq!(z.vector_loops, mu * ku * nu.div_ceil(BLOCK as u64));
     }
 
     #[test]

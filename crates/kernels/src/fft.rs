@@ -16,6 +16,13 @@
 //! describes for the polar filters).
 
 use crate::complex::Complex64;
+use hec_core::probe::{self, Counters};
+
+/// Minimum flops per worker before [`FftPlan::execute_batch_with`]
+/// spawns threads: small batches (the `fft/batch_256x64` regression in
+/// BENCH_kernels.json) run serial because the spawn cost exceeds the
+/// per-line transform work.
+pub const FFT_MIN_FLOPS_PER_WORKER: f64 = 8.0 * 1024.0 * 1024.0;
 
 /// Direction of the transform.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -148,6 +155,8 @@ impl FftPlan {
         if self.n == 0 {
             return;
         }
+        let min_lines = (FFT_MIN_FLOPS_PER_WORKER / self.flops_actual().max(1.0)).ceil() as usize;
+        let threads = threads.clamp_for(count, min_lines);
         threads.par_chunks_mut(data, self.n, |_, line| self.execute(line, dir));
     }
 
@@ -155,6 +164,23 @@ impl FftPlan {
     fn radix2(&self, data: &mut [Complex64], dir: Direction) {
         let n = data.len();
         debug_assert!(n.is_power_of_two());
+        if probe::enabled() && n > 1 {
+            // (n/2)·log₂n butterflies at 10 flops each — 5n·log₂n, the
+            // baseline count, which the radix-2 core executes exactly.
+            // Each butterfly streams two points (read+write) and one
+            // twiddle; the bit-reversal pass touches each point once.
+            let (nu, stages) = (n as u64, n.trailing_zeros() as u64);
+            probe::count(
+                "kernels/fft",
+                Counters {
+                    flops: 5 * nu * stages,
+                    unit_stride_bytes: 40 * nu * stages + 32 * nu,
+                    vector_iters: (nu / 2) * stages,
+                    vector_loops: stages,
+                    ..Default::default()
+                },
+            );
+        }
         // Bit-reversal permutation.
         for (i, &r) in self.bitrev.iter().enumerate() {
             let r = r as usize;
@@ -186,6 +212,22 @@ impl FftPlan {
 
     fn bluestein_execute(&self, b: &Bluestein, data: &mut [Complex64], dir: Direction) {
         let n = self.n;
+        if probe::enabled() {
+            // Chirp-z overhead beyond the two inner radix-2 transforms
+            // (those count themselves): three complex multiply passes —
+            // input chirp (n), pointwise kernel (m), output chirp (n).
+            let (nu, mu) = (n as u64, b.m as u64);
+            probe::count(
+                "kernels/fft bluestein",
+                Counters {
+                    flops: 12 * nu + 6 * mu,
+                    unit_stride_bytes: 48 * (2 * nu + mu),
+                    vector_iters: 2 * nu + mu,
+                    vector_loops: 3,
+                    ..Default::default()
+                },
+            );
+        }
         // x'_k = x_k * chirp_k  (conjugate chirp for the inverse transform).
         let mut a = vec![Complex64::ZERO; b.m];
         for k in 0..n {
@@ -390,6 +432,43 @@ mod tests {
         fft(&mut fb);
         let want: Vec<Complex64> = fa.iter().zip(&fb).map(|(x, y)| *x * alpha + *y).collect();
         assert!(max_err(&combo, &want) < 1e-8);
+    }
+
+    #[test]
+    fn radix2_probe_counts_match_the_baseline_formula() {
+        use hec_core::probe;
+        let n = 256usize;
+        let plan = FftPlan::new(n);
+        let ((), cap) = probe::capture(|| {
+            let mut data = ramp(n);
+            plan.execute(&mut data, Direction::Forward);
+        });
+        let c = cap.get("kernels/fft");
+        let (nu, stages) = (n as u64, n.trailing_zeros() as u64);
+        assert_eq!(c.flops, 5 * nu * stages);
+        assert_eq!(c.flops as f64, plan.flops(), "baseline formula must agree");
+        assert_eq!(c.vector_iters, (nu / 2) * stages);
+        assert_eq!(c.vector_loops, stages);
+    }
+
+    #[test]
+    fn small_fft_batches_take_the_serial_path() {
+        use hec_core::pool::Threads;
+        let plan = FftPlan::new(256);
+        // The regressed bench case: 64 lines of length 256 is far below
+        // the flop floor, so the clamped handle is serial.
+        let min_lines = (FFT_MIN_FLOPS_PER_WORKER / plan.flops_actual().max(1.0)).ceil() as usize;
+        let t = Threads::new(4);
+        assert!(t.clamp_for(64, min_lines).is_serial());
+        // And the clamped batch still matches the serial batch exactly.
+        let count = 64;
+        let mut batch: Vec<Complex64> = (0..256 * count)
+            .map(|i| Complex64::new((i as f64 * 0.013).sin(), (i as f64 * 0.007).cos()))
+            .collect();
+        let mut serial = batch.clone();
+        plan.execute_batch(&mut serial, count, Direction::Forward);
+        plan.execute_batch_with(&t, &mut batch, count, Direction::Forward);
+        assert!(max_err(&batch, &serial) == 0.0);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! whose first moment is the induction-equation flux `uB − Bu`.
 
 use hec_core::pool::Threads;
+use hec_core::probe::{self, Counters};
 
 use crate::lattice::{C, Q, W};
 use crate::state::Block;
@@ -189,6 +190,20 @@ pub fn step_with(
             }
         }
     }
+
+    let points = (nx * ny * nz) as u64;
+    // One x-line per (j,k) pair is the vectorizable loop; totals derive
+    // from the lattice extents, never from worker chunking.
+    probe::count(
+        "lbmhd/collide+stream",
+        Counters {
+            flops: points * FLOPS_PER_POINT as u64,
+            unit_stride_bytes: points * BYTES_PER_POINT as u64,
+            vector_iters: points,
+            vector_loops: lines.len() as u64,
+            ..Default::default()
+        },
+    );
 
     nx * ny * nz
 }

@@ -7,11 +7,15 @@
 //! *instrumented real runs* at small scale (see the `model_matches_
 //! instrumented_run` test), which is what licenses the extrapolation.
 
-use hec_arch::{CommEvent, PhaseProfile, WorkloadProfile};
+use std::sync::OnceLock;
+
+use hec_arch::{CommEvent, PhaseBinding, PhaseProfile, WorkloadProfile};
+use hec_core::probe::{self, Capture};
 
 use crate::collide::{BYTES_PER_POINT, CONCURRENT_STREAMS, FLOPS_PER_POINT};
 use crate::decomp::{local_extent, processor_grid};
 use crate::lattice::Q;
+use crate::sim::{SimParams, Simulation};
 
 /// Workload profile for one timestep of LBMHD3D on a `n³` global grid over
 /// `procs` ranks.
@@ -78,6 +82,49 @@ pub fn halo_bytes_per_step(n: usize, procs: usize) -> f64 {
 pub const TABLE5_CONFIGS: [(usize, usize); 6] =
     [(16, 256), (64, 256), (256, 512), (512, 512), (1024, 1024), (2048, 1024)];
 
+/// One small instrumented run (one rank, an 8³ block, one fused
+/// collide+stream step), cached process-wide. The per-point rates it
+/// measures are exactly [`FLOPS_PER_POINT`] / [`BYTES_PER_POINT`] — the
+/// validation tests pin that — so the measured Table 5 profiles equal
+/// the analytic ones.
+pub fn calibration_capture() -> &'static Capture {
+    static CAP: OnceLock<Capture> = OnceLock::new();
+    CAP.get_or_init(|| {
+        let (_, cap) = probe::capture(|| {
+            msim::run(1, |comm| {
+                let mut sim = Simulation::new(
+                    SimParams { n: 8, ..Default::default() },
+                    comm.rank(),
+                    comm.size(),
+                );
+                sim.step(comm);
+            })
+            .expect("LBMHD calibration run failed");
+        });
+        cap
+    })
+}
+
+/// [`workload`] with the collide+stream phase's extensive fields
+/// replaced by measured per-point rates from [`calibration_capture`],
+/// scaled to the pacing rank's block of the (`n`, `procs`)
+/// configuration.
+pub fn measured_workload(n: usize, procs: usize) -> WorkloadProfile {
+    let cap = calibration_capture();
+    let mut w = workload(n, procs);
+    let dims = processor_grid(procs);
+    let points = (local_extent(n, dims[0], 0)
+        * local_extent(n, dims[1], 0)
+        * local_extent(n, dims[2], 0)) as f64;
+    let units = cap.get("lbmhd/collide+stream").vector_iters as f64;
+    w.apply_capture(
+        cap,
+        &[PhaseBinding::extensive("lbmhd/collide+stream", "fused collide+stream", points / units)],
+    )
+    .expect("LBMHD calibration capture is incomplete");
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +165,23 @@ mod tests {
         .unwrap();
         let w = workload(n, procs);
         assert_eq!(flops[0], w.phases[0].flops);
+    }
+
+    #[test]
+    fn measured_workload_equals_the_analytic_oracle() {
+        // The measured per-point rates are exactly the audited constants,
+        // so the measured profile reproduces the analytic one bit for bit.
+        for &(procs, n) in &TABLE5_CONFIGS[..2] {
+            let a = workload(n, procs);
+            let m = measured_workload(n, procs);
+            assert_eq!(m.phases[0].flops, a.phases[0].flops, "flops at P={procs}");
+            assert_eq!(
+                m.phases[0].unit_stride_bytes, a.phases[0].unit_stride_bytes,
+                "bytes at P={procs}"
+            );
+            assert_eq!(m.phases[0].avg_vector_length, a.phases[0].avg_vector_length);
+            assert_eq!(m.comm, a.comm);
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! records the same matrix (plus a log of collective operations) as a side
 //! effect of every `send`.
 
+use hec_core::probe::{self, Counters};
 use hec_core::sync::Mutex;
 
 /// Which collective produced a [`CollectiveRecord`].
@@ -60,15 +61,25 @@ impl TrafficMatrix {
         self.nprocs
     }
 
-    /// Records one point-to-point message.
+    /// Records one point-to-point message. Doubles as the probe hook for
+    /// `comm/pt2pt` events (collective-internal messages included, as in
+    /// IPM captures).
     pub fn record(&self, src: usize, dst: usize, bytes: usize) {
         debug_assert!(src < self.nprocs && dst < self.nprocs);
         self.bytes.lock()[src * self.nprocs + dst] += bytes as u64;
         self.msgs.lock()[src * self.nprocs + dst] += 1;
+        probe::count(
+            "comm/pt2pt",
+            Counters { messages: 1, message_bytes: bytes as u64, ..Default::default() },
+        );
     }
 
     /// Records one collective operation (logged once by communicator root).
     pub fn record_collective(&self, rec: CollectiveRecord) {
+        probe::count(
+            "comm/collectives",
+            Counters { collectives: 1, collective_bytes: rec.bytes as u64, ..Default::default() },
+        );
         self.collectives.lock().push(rec);
     }
 

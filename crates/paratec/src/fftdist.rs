@@ -17,6 +17,7 @@
 //! through msim as (re, im) pairs.
 
 use hec_core::pool::Threads;
+use hec_core::probe::{self, Counters};
 use kernels::fft::{Direction, FftPlan};
 use kernels::Complex64;
 use msim::Comm;
@@ -132,6 +133,7 @@ impl DistFft {
             (col.gx, col.gy, line)
         });
         self.fft_flops += my_columns.len() as f64 * self.plan_z.flops();
+        self.count_z_stage();
 
         // Stage 2: transpose — ship each slab rank its z-range of every
         // column, tagged with the column's (gx, gy). One pack task per
@@ -192,6 +194,25 @@ impl DistFft {
         slab
     }
 
+    /// Records the probe events of one z-stage column sweep: baseline
+    /// `5 n log₂ n` flops per column line, one vectorizable loop per line.
+    fn count_z_stage(&self) {
+        if !probe::enabled() {
+            return;
+        }
+        let (ncols, nz) = (self.my_columns.len() as u64, self.sphere.nz as u64);
+        probe::count(
+            "paratec/3D FFTs",
+            Counters {
+                flops: (self.my_columns.len() as f64 * self.plan_z.flops()).round() as u64,
+                unit_stride_bytes: ncols * nz * 32,
+                vector_iters: ncols * nz,
+                vector_loops: ncols,
+                ..Default::default()
+            },
+        );
+    }
+
     /// 2D x/y pencil FFTs on every `nx × ny` plane of `slab`, planes
     /// split across workers (each plane is a disjoint contiguous slice,
     /// so the result is bitwise identical to the serial sweep).
@@ -217,6 +238,21 @@ impl DistFft {
         });
         self.fft_flops +=
             planes as f64 * (ny as f64 * self.plan_x.flops() + nx as f64 * self.plan_y.flops());
+        if probe::enabled() {
+            let (pu, nxu, nyu) = (planes as u64, nx as u64, ny as u64);
+            probe::count(
+                "paratec/3D FFTs",
+                Counters {
+                    flops: (planes as f64
+                        * (ny as f64 * self.plan_x.flops() + nx as f64 * self.plan_y.flops()))
+                    .round() as u64,
+                    unit_stride_bytes: pu * nxu * nyu * 64,
+                    vector_iters: pu * nxu * nyu * 2,
+                    vector_loops: pu * (nxu + nyu),
+                    ..Default::default()
+                },
+            );
+        }
     }
 
     /// Inverse transform: real-space z-slab → sphere coefficients (this
@@ -303,6 +339,7 @@ impl DistFft {
             col.gz.iter().map(|&gz| line[wrap_freq(gz, nz)]).collect()
         });
         self.fft_flops += ncols as f64 * self.plan_z.flops();
+        self.count_z_stage();
         let mut coeffs = Vec::with_capacity(self.local_ng());
         for v in per_col {
             coeffs.extend(v);

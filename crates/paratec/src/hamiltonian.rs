@@ -11,6 +11,7 @@
 //!   projections `⟨β_p|ψ⟩` and the rank-update back-projection are both
 //!   ZGEMMs over the local G-vectors with an `Allreduce` across ranks.
 
+use hec_core::probe::{self, Counters};
 use kernels::blas::{par_zgemm, Trans};
 use kernels::Complex64;
 use msim::{Comm, ReduceOp};
@@ -202,6 +203,19 @@ impl Hamiltonian {
                 &mut add,
             );
             self.gemm_flops += kernels::blas::zgemm_flops(ng, nbands, npj);
+            // Projection + back-projection ZGEMMs: 8 flops per complex
+            // multiply-add term, exact integers for the app-level phase.
+            let (p_u, b_u, g_u) = (npj as u64, nbands as u64, ng as u64);
+            probe::count(
+                "paratec/nonlocal zgemm",
+                Counters {
+                    flops: 16 * p_u * b_u * g_u,
+                    unit_stride_bytes: 2 * (p_u * b_u * g_u * 48 + p_u * g_u * 16),
+                    vector_iters: 2 * p_u * b_u * g_u,
+                    vector_loops: 2,
+                    ..Default::default()
+                },
+            );
             for b in 0..nbands {
                 for g in 0..ng {
                     out[b * ng + g] += add[g * nbands + b];

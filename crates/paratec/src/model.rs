@@ -9,10 +9,16 @@
 //! about PARATEC, and the mix is validated against the real mini-app's
 //! instrumentation.
 
-use hec_arch::{CommEvent, PhaseProfile, WorkloadProfile};
+use std::sync::OnceLock;
+
+use hec_arch::{CommEvent, Overlay, PhaseBinding, PhaseProfile, WorkloadProfile};
+use hec_core::probe::{self, Capture};
+use kernels::Complex64;
 
 use crate::basis::GSphere;
-use crate::fftdist::slab_len;
+use crate::fftdist::{slab_len, DistFft};
+use crate::hamiltonian::Hamiltonian;
+use crate::solver::{initial_guess, overlap_matrix};
 
 /// Production problem dimensions for the 488-atom CdSe dot.
 pub mod cdse488 {
@@ -94,6 +100,100 @@ pub fn workload(procs: usize) -> WorkloadProfile {
     w
 }
 
+/// The two instrumented calibration runs the measured Table 6 path is
+/// built from. Separate captures keep the unit bookkeeping honest: the
+/// `fft` capture wraps *exactly one* forward+inverse transform pair (so
+/// the pair count is known), while `gemm` wraps one Hamiltonian apply
+/// plus one subspace overlap (the two ZGEMM families).
+pub struct Calibration {
+    /// One `to_real_space` + `to_fourier_space` round trip on a small
+    /// sphere over 2 ranks.
+    pub fft: Capture,
+    /// One `Hamiltonian::apply` (nonlocal ZGEMMs) + one `overlap_matrix`
+    /// (subspace ZGEMM) on the same sphere.
+    pub gemm: Capture,
+}
+
+/// Runs both calibration captures once, cached process-wide.
+pub fn calibration() -> &'static Calibration {
+    static CAL: OnceLock<Calibration> = OnceLock::new();
+    CAL.get_or_init(|| {
+        let (_, fft) = probe::capture(|| {
+            msim::run(2, |comm| {
+                let sphere = GSphere::build(8, 8, 8, 4.0);
+                let mut fft = DistFft::new(sphere, comm.rank(), comm.size());
+                let coeffs = vec![Complex64::ONE; fft.local_ng()];
+                let slab = fft.to_real_space(comm, &coeffs);
+                let _ = fft.to_fourier_space(comm, &slab);
+            })
+            .expect("PARATEC FFT calibration run failed");
+        });
+        let (_, gemm) = probe::capture(|| {
+            msim::run(2, |comm| {
+                let sphere = GSphere::build(8, 8, 8, 4.0);
+                let fft = DistFft::new(sphere, comm.rank(), comm.size());
+                let mut h = Hamiltonian::model(fft, 4, 1.0);
+                let (ng, nbands) = (h.ng(), 3);
+                let psi = initial_guess(ng, nbands, comm.rank());
+                let _ = h.apply(comm, &psi, nbands);
+                let _ = overlap_matrix(comm, &psi, nbands, ng);
+            })
+            .expect("PARATEC ZGEMM calibration run failed");
+        });
+        Calibration { fft, gemm }
+    })
+}
+
+/// [`workload`] with the library phases' flop counts replaced by measured
+/// rates from [`calibration`], rescaled to the CdSe-488 dimensions.
+///
+/// Both overlays are flops-only deliberately: the model's byte fields
+/// follow the *blocked* algorithm's panel-traffic convention (§2.1
+/// counters would report the no-cache streaming traffic, ~3 orders of
+/// magnitude more for ZGEMM). The FFT is rescaled in dense-equivalent
+/// units — `2 · 5 N log₂ N` per transform pair — so the sparse z-stage
+/// deficit the counters measured on the calibration sphere carries over
+/// to the production estimate. The handwritten remainder stays the same
+/// fixed fraction of the library phases, re-derived from the overlaid
+/// values.
+pub fn measured_workload(procs: usize) -> WorkloadProfile {
+    use cdse488::*;
+    let p = procs as f64;
+    let cal = calibration();
+    let mut w = workload(procs);
+
+    let n_c = (8 * 8 * 8) as f64;
+    let fft_scale = (NBANDS * 2.0 * 5.0 * GRID_POINTS * GRID_POINTS.log2() / p)
+        / (2.0 * 5.0 * n_c * n_c.log2());
+    w.apply_capture(&cal.fft, &[PhaseBinding::flops_only("paratec/3D FFTs", "3D FFTs", fft_scale)])
+        .expect("PARATEC FFT calibration capture is incomplete");
+
+    // The two ZGEMM families share a phase; merge their counters. The
+    // calibration unit is complex mnk (`vector_iters`).
+    let mut g = cal.gemm.get("paratec/nonlocal zgemm");
+    let sub = cal.gemm.get("paratec/subspace zgemm");
+    assert!(!g.is_zero() && !sub.is_zero(), "PARATEC ZGEMM calibration capture is incomplete");
+    g.merge(&sub);
+    let target_mnk = (2.0 * NPROJ * NBANDS + NBANDS * NBANDS) * NG / p;
+    let gemm_scale = target_mnk / g.vector_iters as f64;
+    let gemm_phase = w
+        .phases
+        .iter_mut()
+        .find(|ph| ph.name.contains("ZGEMM"))
+        .expect("profile has no ZGEMM phase");
+    gemm_phase.apply_counters(&g, gemm_scale, Overlay::FlopsOnly);
+
+    let lib: f64 =
+        w.phases.iter().filter(|ph| !ph.name.contains("remainder")).map(|ph| ph.flops).sum();
+    let rem = w
+        .phases
+        .iter_mut()
+        .find(|ph| ph.name.contains("remainder"))
+        .expect("profile has no remainder phase");
+    rem.flops = 0.12 * lib;
+    w
+}
+
 /// Analytic bytes one rank sends in a single forward (or inverse)
 /// distributed transform — must match `DistFft::transpose_bytes` exactly.
 pub fn transpose_bytes_one_way(sphere: &GSphere, rank: usize, nprocs: usize) -> u64 {
@@ -133,6 +233,31 @@ mod tests {
                 assert_eq!(bytes, want, "rank {rank} of {nprocs}");
             }
         }
+    }
+
+    #[test]
+    fn measured_workload_agrees_with_the_analytic_oracle() {
+        let a = workload(256);
+        let m = measured_workload(256);
+        let f = |w: &WorkloadProfile, name: &str| {
+            w.phases.iter().find(|p| p.name.contains(name)).unwrap().clone()
+        };
+        // Both ZGEMM families measure exactly 8 flops per complex mnk, so
+        // the rescaled flop count reproduces the analytic one exactly.
+        assert_eq!(f(&m, "ZGEMM").flops, f(&a, "ZGEMM").flops);
+        // The FFT overlay carries the calibration sphere's sparse z-stage
+        // deficit: at or below the dense-equivalent analytic count, but
+        // not by much.
+        let (mf, af) = (f(&m, "FFT").flops, f(&a, "FFT").flops);
+        assert!(mf <= af && mf > 0.7 * af, "fft flops {mf} vs analytic {af}");
+        // Byte fields keep the model's blocked-panel convention.
+        assert_eq!(f(&m, "ZGEMM").unit_stride_bytes, f(&a, "ZGEMM").unit_stride_bytes);
+        assert_eq!(f(&m, "FFT").unit_stride_bytes, f(&a, "FFT").unit_stride_bytes);
+        // Remainder re-derived at the same fixed fraction of the overlay.
+        let lib = mf + f(&m, "ZGEMM").flops;
+        let rem = f(&m, "remainder").flops;
+        assert!((rem - 0.12 * lib).abs() <= 1e-9 * lib, "remainder {rem} vs {}", 0.12 * lib);
+        assert_eq!(m.comm, a.comm);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ZGEMMs whose cache-friendliness gives PARATEC its high percentage of
 //! peak on every platform).
 
+use hec_core::probe::{self, Counters};
 use kernels::blas::{zgemm, Trans};
 use kernels::Complex64;
 use msim::{Comm, ReduceOp};
@@ -89,6 +90,17 @@ pub fn overlap_matrix(
         &psit,
         Complex64::ZERO,
         &mut s,
+    );
+    let (b_u, g_u) = (nbands as u64, ng as u64);
+    probe::count(
+        "paratec/subspace zgemm",
+        Counters {
+            flops: 8 * b_u * b_u * g_u,
+            unit_stride_bytes: b_u * b_u * g_u * 48 + b_u * g_u * 16,
+            vector_iters: b_u * b_u * g_u,
+            vector_loops: 1,
+            ..Default::default()
+        },
     );
     let mut flat: Vec<f64> = s.iter().flat_map(|z| [z.re, z.im]).collect();
     comm.allreduce_f64(ReduceOp::Sum, &mut flat);

@@ -9,7 +9,12 @@ cargo test -q --offline --workspace
 cargo fmt --check
 
 # Smoke the bench harness under shared-memory threading: one timed
-# iteration per case, two workers, scaling fields written to the JSONs.
+# sample per case, two workers, scaling fields written to the JSONs.
 HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- harness 1
+
+# Smoke the instrumented profile captures under threading: the counters
+# must be thread-invariant, so the PROFILE_*.json artifacts this writes
+# are identical to a serial run's.
+HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- profile
 
 echo "ci: ok"

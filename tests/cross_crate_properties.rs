@@ -432,6 +432,173 @@ fn distfft_round_trip_is_bitwise_stable_across_threads() {
     }
 }
 
+/// Collective cost models are monotone: more bytes or more processors
+/// never make an allreduce / bcast / alltoall / transpose cheaper, for
+/// randomized but physical network parameters over every topology.
+#[test]
+fn collective_costs_are_monotone_in_bytes_and_procs() {
+    use hec_net::collectives::{allreduce_secs, alltoall_secs, bcast_secs, transpose_secs};
+    use hec_net::{NetworkModel, NetworkParams, Topology};
+
+    let mut rng = Rng::new(0xC0117EC);
+    for case in 0..CASES {
+        let params = NetworkParams {
+            latency_us: rng.range(0.5, 20.0),
+            bw_gbps: rng.range(0.1, 16.0),
+            cpus_per_node: 1 << rng.below(5),
+            intranode_bw_gbps: rng.range(1.0, 40.0),
+            topology: Topology::ALL[rng.below(Topology::ALL.len())],
+        };
+
+        // Monotone in bytes at a fixed processor count.
+        let procs = 2 + rng.below(510) as usize;
+        let net = NetworkModel::new(params, procs);
+        let mut bytes = 8usize;
+        let mut prev = [0.0f64; 4];
+        while bytes <= 1 << 22 {
+            let cur = [
+                allreduce_secs(&net, procs, bytes),
+                bcast_secs(&net, procs, bytes),
+                alltoall_secs(&net, procs, bytes),
+                transpose_secs(&net, procs, bytes * procs),
+            ];
+            for (i, (c, p)) in cur.iter().zip(&prev).enumerate() {
+                assert!(c.is_finite() && *c >= 0.0, "case {case}: cost {i} not physical");
+                assert!(c >= p, "case {case}: cost {i} fell {p} -> {c} at {bytes} B, P={procs}");
+            }
+            prev = cur;
+            bytes <<= 2;
+        }
+
+        // Monotone in processors at a fixed payload. Power-of-two sizes
+        // keep the transpose's per-pair integer division exact.
+        let bytes = 1usize << (10 + rng.below(12));
+        let mut prev = [0.0f64; 4];
+        for procs in [1usize, 2, 4, 16, 64, 256, 1024] {
+            let net = NetworkModel::new(params, procs);
+            let cur = [
+                allreduce_secs(&net, procs, bytes),
+                bcast_secs(&net, procs, bytes),
+                alltoall_secs(&net, procs, bytes),
+                transpose_secs(&net, procs, bytes),
+            ];
+            for (i, (c, p)) in cur.iter().zip(&prev).enumerate() {
+                assert!(c >= p, "case {case}: cost {i} fell {p} -> {c} at P={procs}, {bytes} B");
+            }
+            prev = cur;
+        }
+    }
+}
+
+/// The traffic matrix of a halo exchange is symmetric: neighboring ranks
+/// trade faces of equal cross-section, so bytes and message counts match
+/// in both directions for every pair.
+#[test]
+fn lbmhd_halo_traffic_matrix_is_symmetric() {
+    use lbmhd::sim::{SimParams, Simulation};
+
+    for (n, procs) in [(12usize, 8usize), (10, 4)] {
+        let (_, traffic) = msim::run_with_traffic(procs, move |comm| {
+            let mut sim =
+                Simulation::new(SimParams { n, ..Default::default() }, comm.rank(), comm.size());
+            sim.step(comm);
+        })
+        .unwrap();
+        assert!(traffic.total_bytes() > 0, "n={n}, procs={procs}: no halo traffic captured");
+        for a in 0..procs {
+            for b in 0..a {
+                assert_eq!(
+                    traffic.pair(a, b),
+                    traffic.pair(b, a),
+                    "n={n}, procs={procs}: bytes {a}<->{b} asymmetric"
+                );
+                assert_eq!(
+                    traffic.pair_msgs(a, b),
+                    traffic.pair_msgs(b, a),
+                    "n={n}, procs={procs}: messages {a}<->{b} asymmetric"
+                );
+            }
+            assert_eq!(traffic.pair(a, a), 0, "rank {a} sent bytes to itself");
+        }
+    }
+}
+
+/// Probes are inert outside a capture: instrumented applications run with
+/// probes disabled leave no counter state behind, and a capture sees only
+/// the events of its own closure.
+#[test]
+fn probe_counters_do_not_leak_outside_a_capture() {
+    use hec_core::probe;
+
+    assert!(!probe::enabled());
+    // Instrumented work with no capture in flight: every probe is a no-op.
+    let params =
+        gtc::sim::GtcParams { particles_per_domain: 200, ndomains: 2, ..Default::default() };
+    msim::run(2, move |world| {
+        let mut sim = gtc::sim::GtcSim::new(params, world);
+        sim.step(world);
+    })
+    .unwrap();
+    assert!(!probe::enabled());
+
+    // A subsequent capture sees only its own closure's events — nothing
+    // from the uninstrumented run above leaks in.
+    let ((), cap) = probe::capture(|| {
+        msim::run(2, |comm| {
+            let p = lbmhd::sim::SimParams { n: 6, ..Default::default() };
+            let mut sim = lbmhd::sim::Simulation::new(p, comm.rank(), comm.size());
+            sim.step(comm);
+        })
+        .unwrap();
+    });
+    assert!(!cap.is_empty());
+    for phase in cap.counters.keys() {
+        assert!(!phase.starts_with("gtc/"), "phase '{phase}' leaked from outside the capture");
+    }
+
+    // And a capture over nothing is empty.
+    let ((), empty) = probe::capture(|| {});
+    assert!(empty.is_empty());
+    assert!(!probe::enabled());
+}
+
+/// Captured counters are bitwise invariant across shared-memory worker
+/// counts: a composite GTC + LBMHD run records identical per-phase event
+/// totals with 1, 2, or 4 workers per rank (timings differ; counters
+/// never do).
+#[test]
+fn captures_are_bitwise_invariant_across_worker_counts() {
+    use hec_core::probe;
+
+    let run = |workers: usize| {
+        let ((), cap) = probe::capture(|| {
+            let params = gtc::sim::GtcParams {
+                particles_per_domain: 300,
+                ndomains: 2,
+                threads: workers,
+                ..Default::default()
+            };
+            msim::run(2, move |world| {
+                let mut sim = gtc::sim::GtcSim::new(params, world);
+                sim.step(world);
+            })
+            .unwrap();
+            msim::run(2, move |comm| {
+                let p = lbmhd::sim::SimParams { n: 6, threads: workers, ..Default::default() };
+                let mut sim = lbmhd::sim::Simulation::new(p, comm.rank(), comm.size());
+                sim.step(comm);
+            })
+            .unwrap();
+        });
+        cap.deterministic().clone()
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty());
+    for workers in [2usize, 4] {
+        assert_eq!(run(workers), reference, "counters changed with {workers} workers");
+    }
+}
+
 /// The sphere basis is inversion-symmetric and the balance covers it for
 /// arbitrary processor counts.
 #[test]

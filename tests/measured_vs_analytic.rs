@@ -1,0 +1,308 @@
+//! Central measured-vs-analytic counter validation.
+//!
+//! Every instrumented phase of every application is checked here: the
+//! counters a `hec_core::probe` capture records for a real run must equal
+//! counts derived independently from the work that run executed (particle
+//! totals, lattice extents, grid decompositions, matrix dimensions) and
+//! the audited per-unit constants. Integer events must match exactly;
+//! flop totals that involve per-rank rounding are reproduced with the
+//! same rounding and must still match exactly.
+//!
+//! This is the contract that licenses the measured Table 3–6 path: the
+//! `measured_workload` constructors are only trustworthy because the
+//! counters they consume are pinned, phase by phase, to these analytic
+//! oracles.
+
+use hec_core::probe;
+
+// ---------------------------------------------------------------- GTC
+
+#[test]
+fn gtc_counters_match_analytic_counts_for_every_phase() {
+    use gtc::deposit::{FLOPS_PER_PARTICLE as DEPOSIT_FLOPS, SCATTER_POINTS};
+    use gtc::particles::ATTRS;
+    use gtc::push::{GATHER_FLOPS_PER_PARTICLE, PUSH_FLOPS_PER_PARTICLE};
+    use gtc::sim::{GtcParams, GtcSim};
+
+    let params = GtcParams { particles_per_domain: 400, ..Default::default() };
+    let (per_rank, cap) = probe::capture(|| {
+        msim::run(4, move |world| {
+            let mut sim = GtcSim::new(params, world);
+            sim.step(world);
+            (sim.counters, sim.fields.grid)
+        })
+        .unwrap()
+    });
+
+    let deposited: u64 = per_rank.iter().map(|(c, _)| c.deposited).sum();
+    let pushed: u64 = per_rank.iter().map(|(c, _)| c.pushed).sum();
+    let cg: u64 = per_rank.iter().map(|(c, _)| c.cg_iterations).sum();
+    let ranks = per_rank.len() as u64;
+    // Every domain solves on the same global poloidal grid.
+    let grid = per_rank[0].1;
+    let plane_len = grid.len() as u64;
+
+    // Deposition happens before the shift, so the first step deposits
+    // exactly the loaded markers.
+    assert_eq!(deposited, 4 * 400);
+    assert_eq!(pushed, deposited);
+
+    let dep = cap.get("gtc/charge deposition");
+    assert_eq!(dep.flops, deposited * DEPOSIT_FLOPS as u64, "deposition flops");
+    assert_eq!(dep.unit_stride_bytes, deposited * ATTRS as u64 * 8);
+    assert_eq!(dep.gather_scatter_bytes, deposited * SCATTER_POINTS as u64 * 16);
+    assert_eq!(dep.gather_scatter_ops, deposited * SCATTER_POINTS as u64);
+    assert_eq!(dep.vector_iters, deposited);
+    assert_eq!(dep.vector_loops, ranks);
+
+    let poi = cap.get("gtc/poisson solve");
+    let per_cg = gtc::poisson::operator_flops(&grid) as u64 + 10 * plane_len;
+    assert_eq!(poi.flops, cg * per_cg, "poisson flops");
+    assert_eq!(poi.unit_stride_bytes, cg * 40 * plane_len);
+    assert_eq!(poi.vector_iters, cg * plane_len);
+    assert_eq!(poi.vector_loops, cg);
+
+    let gat = cap.get("gtc/field gather");
+    assert_eq!(gat.flops, pushed * GATHER_FLOPS_PER_PARTICLE as u64, "gather flops");
+    assert_eq!(gat.unit_stride_bytes, pushed * ATTRS as u64 * 8);
+    assert_eq!(gat.gather_scatter_bytes, pushed * 64 * 8);
+    assert_eq!(gat.gather_scatter_ops, pushed * 64);
+    assert_eq!(gat.vector_iters, pushed);
+    assert_eq!(gat.vector_loops, ranks);
+
+    let push = cap.get("gtc/particle push");
+    assert_eq!(push.flops, pushed * PUSH_FLOPS_PER_PARTICLE as u64, "push flops");
+    assert_eq!(push.unit_stride_bytes, pushed * ATTRS as u64 * 16);
+    assert_eq!(push.vector_iters, pushed);
+    assert_eq!(push.vector_loops, ranks);
+}
+
+// -------------------------------------------------------------- LBMHD
+
+#[test]
+fn lbmhd_counters_match_analytic_counts() {
+    use lbmhd::collide::{BYTES_PER_POINT, FLOPS_PER_POINT};
+    use lbmhd::decomp::{local_extent, processor_grid};
+    use lbmhd::sim::{SimParams, Simulation};
+
+    let (n, procs) = (8usize, 4usize);
+    let ((), cap) = probe::capture(|| {
+        msim::run(procs, move |comm| {
+            let mut sim =
+                Simulation::new(SimParams { n, ..Default::default() }, comm.rank(), comm.size());
+            sim.step(comm);
+        })
+        .unwrap();
+    });
+
+    // Summed over all ranks, the local blocks tile the global lattice and
+    // the per-rank (j, k) line loops cover dims[0] copies of each (y, z).
+    let points = (n * n * n) as u64;
+    let dims = processor_grid(procs);
+    let mut lines = 0u64;
+    for ry in 0..dims[1] {
+        for rz in 0..dims[2] {
+            lines += (local_extent(n, dims[1], ry) * local_extent(n, dims[2], rz)) as u64;
+        }
+    }
+    lines *= dims[0] as u64;
+
+    let c = cap.get("lbmhd/collide+stream");
+    assert_eq!(c.flops, points * FLOPS_PER_POINT as u64, "collide+stream flops");
+    assert_eq!(c.unit_stride_bytes, points * BYTES_PER_POINT as u64);
+    assert_eq!(c.vector_iters, points);
+    assert_eq!(c.vector_loops, lines);
+}
+
+// -------------------------------------------------------------- FVCAM
+
+#[test]
+fn fvcam_counters_match_analytic_counts_for_every_phase() {
+    use fvcam::advect::FLOPS_PER_CELL;
+    use fvcam::polar::PolarFilter;
+    use fvcam::sim::{FvParams, FvSim, PHYSICS_FLOPS_PER_POINT};
+    use fvcam::vertical::remap_flops;
+
+    let params =
+        FvParams { nlon: 24, nlat: 19, nlev: 8, pz: 2, courant: 0.2, ..Default::default() };
+    let (per_rank, cap) = probe::capture(|| {
+        msim::run(4, move |comm| {
+            let mut sim = FvSim::new(params, comm.rank(), comm.size());
+            sim.step(comm);
+            sim.counters
+        })
+        .unwrap()
+    });
+
+    let cells: u64 = per_rank.iter().map(|c| c.cells_advected).sum();
+    let rows: u64 = per_rank.iter().map(|c| c.rows_filtered).sum();
+    let cols: u64 = per_rank.iter().map(|c| c.columns_remapped).sum();
+    let nlon = params.nlon as u64;
+    let nlev = params.nlev as u64;
+    assert!(rows > 0, "calibration-shaped run must filter polar rows");
+
+    let dynamics = cap.get("fvcam/fv dynamics");
+    assert_eq!(dynamics.flops, cells * FLOPS_PER_CELL as u64, "dynamics flops");
+    assert_eq!(dynamics.unit_stride_bytes, cells * 48);
+    assert_eq!(dynamics.gather_scatter_bytes, cells * 2);
+    assert_eq!(dynamics.vector_iters, cells);
+    let line_loops: u64 = per_rank.iter().map(|c| c.cells_advected / nlon).sum();
+    assert_eq!(dynamics.vector_loops, line_loops);
+
+    // The filter flop count is rounded once per rank per step; reproduce
+    // the same rounding and require exact agreement.
+    let filter = cap.get("fvcam/polar filter FFTs");
+    let fpr = PolarFilter::new(params.nlon).flops_per_row();
+    let want: u64 = per_rank.iter().map(|c| (c.rows_filtered as f64 * fpr).round() as u64).sum();
+    assert_eq!(filter.flops, want, "filter flops");
+    assert_eq!(filter.unit_stride_bytes, rows * nlon * 64);
+    assert_eq!(filter.vector_iters, rows * nlon);
+    assert_eq!(filter.vector_loops, rows);
+
+    let remap = cap.get("fvcam/remap + physics");
+    let per_col = remap_flops(params.nlev) + PHYSICS_FLOPS_PER_POINT * nlev as f64;
+    let want: u64 =
+        per_rank.iter().map(|c| (c.columns_remapped as f64 * per_col).round() as u64).sum();
+    assert_eq!(remap.flops, want, "remap flops");
+    assert_eq!(remap.unit_stride_bytes, cols * nlev * 32);
+    assert_eq!(remap.vector_iters, cols * nlev);
+    assert_eq!(remap.vector_loops, cols);
+}
+
+// ------------------------------------------------------------ PARATEC
+
+#[test]
+fn paratec_fft_counters_match_analytic_counts() {
+    use kernels::fft::FftPlan;
+    use kernels::Complex64;
+    use paratec::basis::GSphere;
+    use paratec::fftdist::{slab_len, DistFft};
+
+    let sphere = GSphere::build(8, 8, 8, 5.0);
+    let nprocs = 2usize;
+    let s = sphere.clone();
+    let ((), cap) = probe::capture(|| {
+        msim::run(nprocs, move |comm| {
+            let mut fft = DistFft::new(s.clone(), comm.rank(), comm.size());
+            let coeffs = vec![Complex64::ONE; fft.local_ng()];
+            let slab = fft.to_real_space(comm, &coeffs);
+            let _ = fft.to_fourier_space(comm, &slab);
+        })
+        .unwrap();
+    });
+
+    let (nx, ny, nz) = (sphere.nx as u64, sphere.ny as u64, sphere.nz as u64);
+    let ncols = sphere.columns.len() as u64;
+    let plan = FftPlan::new(sphere.nz);
+    // One forward + one inverse transform: each direction runs the sparse
+    // z-stage over the sphere's columns (spread over ranks) and the dense
+    // x/y plane stage over every z-plane (spread over slabs).
+    let assignment = sphere.balance(nprocs);
+    let z_flops: u64 = 2 * assignment
+        .iter()
+        .map(|cols| (cols.len() as f64 * plan.flops()).round() as u64)
+        .sum::<u64>();
+    let per_plane = ny as f64 * plan.flops() + nx as f64 * plan.flops();
+    let plane_flops: u64 = 2
+        * (0..nprocs)
+            .map(|p| (slab_len(sphere.nz, nprocs, p) as f64 * per_plane).round() as u64)
+            .sum::<u64>();
+
+    let f = cap.get("paratec/3D FFTs");
+    assert_eq!(f.flops, z_flops + plane_flops, "3D FFT flops");
+    assert_eq!(f.unit_stride_bytes, 2 * (ncols * nz * 32 + nz * nx * ny * 64));
+    assert_eq!(f.vector_iters, 2 * (ncols * nz + nz * nx * ny * 2));
+    assert_eq!(f.vector_loops, 2 * (ncols + nz * (nx + ny)));
+}
+
+#[test]
+fn paratec_zgemm_counters_match_analytic_counts() {
+    use paratec::basis::GSphere;
+    use paratec::fftdist::DistFft;
+    use paratec::hamiltonian::Hamiltonian;
+    use paratec::solver::{initial_guess, overlap_matrix};
+
+    let (nprocs, nproj, nbands) = (2usize, 4usize, 3usize);
+    let (ngs, cap) = probe::capture(|| {
+        msim::run(nprocs, move |comm| {
+            let sphere = GSphere::build(8, 8, 8, 5.0);
+            let fft = DistFft::new(sphere, comm.rank(), comm.size());
+            let mut h = Hamiltonian::model(fft, nproj, 1.0);
+            let ng = h.ng();
+            let psi = initial_guess(ng, nbands, comm.rank());
+            let _ = h.apply(comm, &psi, nbands);
+            let _ = overlap_matrix(comm, &psi, nbands, ng);
+            ng as u64
+        })
+        .unwrap()
+    });
+    let (p, b) = (nproj as u64, nbands as u64);
+
+    // Nonlocal: projection + back-projection ZGEMM per rank on its local
+    // sphere slice — all counts close over Σ ng.
+    let nl = cap.get("paratec/nonlocal zgemm");
+    let pbg: u64 = ngs.iter().map(|&g| p * b * g).sum();
+    let pg: u64 = ngs.iter().map(|&g| p * g).sum();
+    assert_eq!(nl.flops, 16 * pbg, "nonlocal flops");
+    assert_eq!(nl.unit_stride_bytes, 2 * (pbg * 48 + pg * 16));
+    assert_eq!(nl.vector_iters, 2 * pbg);
+    assert_eq!(nl.vector_loops, 2 * nprocs as u64);
+
+    // Subspace: one overlap ZGEMM per rank.
+    let sub = cap.get("paratec/subspace zgemm");
+    let bbg: u64 = ngs.iter().map(|&g| b * b * g).sum();
+    let bg: u64 = ngs.iter().map(|&g| b * g).sum();
+    assert_eq!(sub.flops, 8 * bbg, "subspace flops");
+    assert_eq!(sub.unit_stride_bytes, bbg * 48 + bg * 16);
+    assert_eq!(sub.vector_iters, bbg);
+    assert_eq!(sub.vector_loops, nprocs as u64);
+}
+
+// ---------------------------------------------------- msim communication
+
+#[test]
+fn msim_pt2pt_counters_match_an_exact_exchange() {
+    // A pure sendrecv pattern with no collectives: each of 4 ranks sends
+    // exactly one 24-byte message to its XOR partner.
+    let (_, cap) = probe::capture(|| {
+        msim::run(4, |comm| {
+            let peer = comm.rank() ^ 1;
+            let _ = comm.sendrecv_f64(peer, peer, 7, &[1.0, 2.0, 3.0]);
+        })
+        .unwrap()
+    });
+    let pt2pt = cap.get("comm/pt2pt");
+    assert_eq!(pt2pt.messages, 4, "one pt2pt message per rank");
+    assert_eq!(pt2pt.message_bytes, 4 * 3 * 8);
+    assert!(cap.get("comm/collectives").is_zero());
+}
+
+#[test]
+fn msim_comm_counters_match_the_traffic_matrix_bookkeeping() {
+    // With collectives in play, the pt2pt counters must equal the traffic
+    // matrix's independent per-pair accounting (collective-internal
+    // messages included, as in IPM captures), and the collective counters
+    // must equal its operation log.
+    let (traffics, cap) = probe::capture(|| {
+        let (_, traffic) = msim::run_with_traffic(4, |comm| {
+            let peer = comm.rank() ^ 1;
+            let _ = comm.sendrecv_f64(peer, peer, 7, &[1.0, 2.0, 3.0]);
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_f64(msim::ReduceOp::Sum, &mut v);
+            comm.barrier();
+        })
+        .unwrap();
+        let msgs: u64 = (0..4)
+            .flat_map(|s| (0..4).map(move |d| (s, d)))
+            .fold(0, |acc, (s, d)| acc + traffic.pair_msgs(s, d));
+        (msgs, traffic.total_bytes(), traffic.collectives())
+    });
+    let (msgs, bytes, log) = traffics;
+    let pt2pt = cap.get("comm/pt2pt");
+    assert!(pt2pt.messages > 4, "collectives add internal messages");
+    assert_eq!(pt2pt.messages, msgs);
+    assert_eq!(pt2pt.message_bytes, bytes);
+    let coll = cap.get("comm/collectives");
+    assert_eq!(coll.collectives, log.len() as u64);
+    assert_eq!(coll.collective_bytes, log.iter().map(|r| r.bytes as u64).sum::<u64>());
+}
