@@ -1,186 +1,16 @@
 //! Result generation for every table and figure.
 //!
-//! Each driver builds, per (configuration, platform), the workload profile
-//! from the application's *measured* calibration capture (see each app's
-//! `measured_workload`; the analytic builders remain as the cross-check
-//! oracle) and evaluates it with the architectural model. Results use the
-//! paper's 7-column platform layout (see `report::paper::PLATFORMS`).
+//! The per-cell evaluation core (measured workload → architectural model
+//! → Gflop/P and % of peak) lives in [`hec_serve::engine`] since the
+//! service and the CLI must produce bitwise-identical numbers; the
+//! moved items are re-exported here so existing callers keep working.
+//! What remains local is everything that needs the simulated runtime:
+//! the Figure 2 traffic capture and the Figure 8 assembly.
+//!
+//! Results use the paper's 7-column platform layout (see
+//! `report::paper::PLATFORMS`).
 
-use hec_arch::{predict, Platform, PlatformId, WorkloadProfile};
-
-/// One reproduced cell: sustained Gflop/s per processor and % of peak.
-#[derive(Clone, Copy, Debug)]
-pub struct Cell {
-    /// Gflop/s per processor.
-    pub gflops: f64,
-    /// Percent of the platform's peak.
-    pub pct_peak: f64,
-    /// Predicted seconds per timestep (Figure 4 needs this).
-    pub step_secs: f64,
-}
-
-/// One reproduced table row.
-#[derive(Clone, Debug)]
-pub struct Row {
-    /// Processor count.
-    pub procs: usize,
-    /// Row label (decomposition, grid, particles/cell…).
-    pub label: String,
-    /// Per-platform cells in `report::paper::PLATFORMS` order.
-    pub cells: [Option<Cell>; 7],
-}
-
-fn eval(platform: &Platform, w: &WorkloadProfile) -> Cell {
-    let p = predict(platform, w);
-    Cell { gflops: p.gflops_per_proc, pct_peak: p.percent_of_peak, step_secs: p.breakdown.total() }
-}
-
-/// Evaluates a workload on the X1 in "aggregate 4-SSP" mode, the way
-/// Tables 4 and 6 report it: the same total work spread over 4× as many
-/// SSP ranks; the quoted Gflop/P is the aggregate of 4 SSPs.
-fn eval_4ssp(w: &WorkloadProfile) -> Cell {
-    let ssp = Platform::get(PlatformId::X1Ssp);
-    let mut quarter = w.clone();
-    quarter.job_procs = w.job_procs * 4;
-    for ph in quarter.phases.iter_mut() {
-        ph.flops /= 4.0;
-        ph.unit_stride_bytes /= 4.0;
-        ph.gather_scatter_bytes /= 4.0;
-        ph.working_set_bytes /= 4.0;
-        // The inner (vector) loops are the same loops — only the outer
-        // block shrinks — so the vector length is left untouched.
-    }
-    for ev in quarter.comm.iter_mut() {
-        use hec_arch::CommEvent::*;
-        match ev {
-            Halo { bytes, .. } => *bytes /= 4.0,
-            Allreduce { procs, .. } => *procs *= 4.0,
-            Alltoall { procs, bytes_per_pair } => {
-                *procs *= 4.0;
-                *bytes_per_pair /= 16.0; // per-rank volume /4, pairs ×4
-            }
-            Transpose { procs, bytes_per_rank } => {
-                *procs *= 4.0;
-                *bytes_per_rank /= 4.0;
-            }
-            Bcast { procs, .. } => *procs *= 4.0,
-        }
-    }
-    let p = predict(&ssp, &quarter);
-    // The paper reports the *aggregate* of 4 SSPs against the MSP's 12.8
-    // Gflop/s peak, so the two X1 columns are directly comparable.
-    let aggregate = 4.0 * p.gflops_per_proc;
-    Cell {
-        gflops: aggregate,
-        pct_peak: 100.0 * aggregate / Platform::get(PlatformId::X1Msp).peak_gflops,
-        step_secs: p.breakdown.total(),
-    }
-}
-
-/// Table 3 / Figures 3–4: FVCAM on the D mesh. OpenMP (4 threads) is used
-/// on Power3 and ES exactly as in the paper; the X1E column sits in the
-/// paper's "4-SSP" slot (FVCAM reports X1E, not SSP mode).
-pub fn fvcam_rows() -> Vec<Row> {
-    use fvcam::model::{measured_workload, table3_configs, FvConfig};
-    let mut rows = Vec::new();
-    for base in table3_configs(1) {
-        let mk = |threads: usize| -> Option<WorkloadProfile> {
-            measured_workload(FvConfig { threads, ..base })
-        };
-        let w1 = mk(1);
-        let w4 = mk(4);
-        // Prefer pure MPI; fall back to 4 threads where MPI alone is
-        // infeasible (the paper's Power3/ES hybrid operating point).
-        let omp = |prefer4: bool| -> Option<WorkloadProfile> {
-            if prefer4 {
-                w4.clone().or_else(|| w1.clone())
-            } else {
-                w1.clone().or_else(|| w4.clone())
-            }
-        };
-        let cells: [Option<Cell>; 7] = [
-            omp(true).map(|w| eval(&Platform::get(PlatformId::Power3), &w)),
-            omp(false).map(|w| eval(&Platform::get(PlatformId::Itanium2), &w)),
-            None, // no Opteron data for FVCAM
-            omp(false).map(|w| eval(&Platform::get(PlatformId::X1Msp), &w)),
-            omp(false).map(|w| eval(&Platform::get(PlatformId::X1e), &w)),
-            omp(true).map(|w| eval(&Platform::get(PlatformId::Es), &w)),
-            None, // no SX-8 data for FVCAM
-        ];
-        let label = if base.pz == 1 { "1D".into() } else { format!("2D Pz={}", base.pz) };
-        rows.push(Row { procs: base.procs, label, cells });
-    }
-    rows
-}
-
-/// Table 4: GTC weak scaling (3.2 M particles per processor).
-pub fn gtc_rows() -> Vec<Row> {
-    use gtc::model::{measured_workload, TABLE4_CONFIGS};
-    TABLE4_CONFIGS
-        .iter()
-        .map(|&(procs, ppc)| {
-            let w = measured_workload(procs);
-            let cells: [Option<Cell>; 7] = [
-                Some(eval(&Platform::get(PlatformId::Power3), &w)),
-                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
-                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
-                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
-                Some(eval_4ssp(&w)),
-                Some(eval(&Platform::get(PlatformId::Es), &w)),
-                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
-            ];
-            Row { procs, label: format!("{ppc} p/c"), cells }
-        })
-        .collect()
-}
-
-/// Table 5: LBMHD3D at 256³–1024³.
-pub fn lbmhd_rows() -> Vec<Row> {
-    use lbmhd::model::{measured_workload, TABLE5_CONFIGS};
-    TABLE5_CONFIGS
-        .iter()
-        .map(|&(procs, n)| {
-            let w = measured_workload(n, procs);
-            // The paper's X1 SSP column for LBMHD is per-SSP Gflop/s (not
-            // aggregate): divide the aggregate evaluation back by 4.
-            let ssp = {
-                let c = eval_4ssp(&w);
-                Cell { gflops: c.gflops / 4.0, ..c }
-            };
-            let cells: [Option<Cell>; 7] = [
-                Some(eval(&Platform::get(PlatformId::Power3), &w)),
-                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
-                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
-                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
-                Some(ssp),
-                Some(eval(&Platform::get(PlatformId::Es), &w)),
-                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
-            ];
-            Row { procs, label: format!("{n}^3"), cells }
-        })
-        .collect()
-}
-
-/// Table 6: PARATEC, 488-atom CdSe dot, 3 CG steps.
-pub fn paratec_rows() -> Vec<Row> {
-    use paratec::model::{measured_workload, TABLE6_CONFIGS};
-    TABLE6_CONFIGS
-        .iter()
-        .map(|&procs| {
-            let w = measured_workload(procs);
-            let cells: [Option<Cell>; 7] = [
-                Some(eval(&Platform::get(PlatformId::Power3), &w)),
-                Some(eval(&Platform::get(PlatformId::Itanium2), &w)),
-                Some(eval(&Platform::get(PlatformId::Opteron), &w)),
-                Some(eval(&Platform::get(PlatformId::X1Msp), &w)),
-                Some(eval_4ssp(&w)),
-                Some(eval(&Platform::get(PlatformId::Es), &w)),
-                Some(eval(&Platform::get(PlatformId::Sx8), &w)),
-            ];
-            Row { procs, label: String::new(), cells }
-        })
-        .collect()
-}
+pub use hec_serve::engine::{fvcam_rows, gtc_rows, lbmhd_rows, paratec_rows, Cell, Row};
 
 /// Figure 8 data: the 256-processor slice of all four applications —
 /// (% of peak, speed relative to ES) per platform per app.

@@ -10,9 +10,12 @@
 //!   integration tests.
 //! * [`harness`] — dependency-free micro/app benchmark timing
 //!   (`repro harness`).
+//! * [`loadgen`] — closed-loop load generator for the serve subsystem
+//!   (`repro loadgen`, writes `BENCH_serve.json`).
 
 pub mod experiments;
 pub mod harness;
+pub mod loadgen;
 pub mod profile;
 pub mod render;
 pub mod validate;

@@ -1,0 +1,231 @@
+//! `repro loadgen` — closed-loop load generator for the serve subsystem.
+//!
+//! Spawns N client threads, each issuing one request at a time
+//! (closed-loop: think time zero, concurrency = N) round-robin over a
+//! repeated-request workload: single points for all four apps across
+//! several platforms, plus a sweep per app. Because the workload
+//! repeats, a correctly caching server converges to a high hit rate —
+//! the emitted `BENCH_serve.json` records it alongside throughput and
+//! exact (not bucketed) latency quantiles, so the serve path joins the
+//! benchmark trajectory next to `BENCH_kernels.json`/`BENCH_apps.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hec_core::json::Json;
+use hec_serve::client;
+use report::latency::{latency_table, LatencySummary};
+
+/// Default load duration, seconds.
+pub const DEFAULT_SECS: u64 = 5;
+/// Default closed-loop client count.
+pub const DEFAULT_CLIENTS: usize = 4;
+
+/// One request class in the generated mix.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Eval,
+    Sweep,
+}
+
+/// The repeated-request mix: every app, several platforms, table-sized
+/// concurrencies, plus one sweep per app.
+fn workload(base: &str) -> Vec<(Class, String)> {
+    let mut urls = Vec::new();
+    for (app, extra) in [("gtc", ""), ("lbmhd", "&n=512"), ("paratec", ""), ("fvcam", "&pz=4")] {
+        for platform in ["power3", "x1msp", "es", "sx8"] {
+            urls.push((
+                Class::Eval,
+                format!("{base}/eval?app={app}&platform={platform}&procs=256{extra}"),
+            ));
+        }
+        urls.push((Class::Sweep, format!("{base}/sweep?app={app}")));
+    }
+    urls.push((Class::Eval, format!("{base}/eval?app=gtc&platform=4ssp&procs=512")));
+    urls.push((Class::Eval, format!("{base}/eval?app=lbmhd&platform=opteron&procs=1024&n=1024")));
+    urls
+}
+
+struct ClientStats {
+    /// (class, latency_us, ok) per completed request.
+    samples: Vec<(Class, u64, bool)>,
+    transport_errors: u64,
+}
+
+fn drive(base: String, stop: Arc<AtomicBool>, offset: usize) -> ClientStats {
+    let urls = workload(&base);
+    let mut stats = ClientStats { samples: Vec::new(), transport_errors: 0 };
+    let mut i = offset;
+    while !stop.load(Ordering::Relaxed) {
+        let (class, url) = &urls[i % urls.len()];
+        i += 1;
+        let t0 = Instant::now();
+        match client::http_get(url) {
+            Ok(resp) => {
+                let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                stats.samples.push((*class, us, resp.status == 200));
+            }
+            Err(_) => stats.transport_errors += 1,
+        }
+    }
+    stats
+}
+
+fn quantile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+fn cache_counters(metrics_url: &str) -> Option<(u64, u64)> {
+    let doc = Json::parse(&client::http_get(metrics_url).ok()?.body).ok()?;
+    let cache = doc.get("cache")?;
+    Some((cache.get("hits")?.as_f64()? as u64, cache.get("misses")?.as_f64()? as u64))
+}
+
+fn summarize(class: Class, label: &str, samples: &[(Class, u64, bool)]) -> LatencySummary {
+    let mut lat: Vec<u64> =
+        samples.iter().filter(|(c, _, _)| *c == class).map(|&(_, us, _)| us).collect();
+    lat.sort_unstable();
+    let errors = samples.iter().filter(|(c, _, ok)| *c == class && !ok).count() as u64;
+    LatencySummary {
+        label: label.to_string(),
+        requests: lat.len() as u64,
+        errors,
+        p50_us: quantile(&lat, 0.50),
+        p95_us: quantile(&lat, 0.95),
+        p99_us: quantile(&lat, 0.99),
+    }
+}
+
+/// Runs the load test against `url` (e.g. `http://127.0.0.1:8471`) and
+/// writes `BENCH_serve.json`. Returns the number of error responses
+/// (HTTP or transport) so the CLI can exit nonzero on a failing run.
+pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
+    let base = url.trim_end_matches('/').to_string();
+    let metrics_url = format!("{base}/metrics");
+    let before = cache_counters(&metrics_url);
+    if before.is_none() {
+        eprintln!("warning: {metrics_url} unreachable before the run");
+    }
+
+    eprintln!("loadgen: {clients} closed-loop clients against {base} for {secs}s...");
+    let stop = Arc::new(AtomicBool::new(false));
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients.max(1))
+        .map(|c| {
+            let (base, stop) = (base.clone(), Arc::clone(&stop));
+            std::thread::spawn(move || drive(base, stop, c * 3))
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs(secs.max(1)));
+    stop.store(true, Ordering::Relaxed);
+    let stats: Vec<ClientStats> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let samples: Vec<(Class, u64, bool)> =
+        stats.iter().flat_map(|s| s.samples.iter().copied()).collect();
+    let transport_errors: u64 = stats.iter().map(|s| s.transport_errors).sum();
+    let http_errors = samples.iter().filter(|(_, _, ok)| !ok).count() as u64;
+    let errors = transport_errors + http_errors;
+    let requests = samples.len() as u64;
+    let throughput = requests as f64 / elapsed;
+
+    let mut all: Vec<u64> = samples.iter().map(|&(_, us, _)| us).collect();
+    all.sort_unstable();
+    let mean_us =
+        if all.is_empty() { 0.0 } else { all.iter().sum::<u64>() as f64 / all.len() as f64 };
+
+    let after = cache_counters(&metrics_url);
+    let (hits, misses) = match (before, after) {
+        (Some((h0, m0)), Some((h1, m1))) => (h1.saturating_sub(h0), m1.saturating_sub(m0)),
+        _ => (0, 0),
+    };
+    let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+
+    let eval_sum = summarize(Class::Eval, "/eval", &samples);
+    let sweep_sum = summarize(Class::Sweep, "/sweep", &samples);
+    print!(
+        "{}",
+        latency_table("serve load test", &[eval_sum.clone(), sweep_sum.clone()], throughput)
+            .render()
+    );
+    eprintln!(
+        "cache: {hits} hits / {misses} misses ({:.0}% hit rate); {errors} errors",
+        hit_rate * 100.0
+    );
+
+    let class_doc = |s: &LatencySummary| {
+        Json::obj([
+            ("requests", Json::Num(s.requests as f64)),
+            ("errors", Json::Num(s.errors as f64)),
+            ("p50_us", Json::Num(s.p50_us as f64)),
+            ("p95_us", Json::Num(s.p95_us as f64)),
+            ("p99_us", Json::Num(s.p99_us as f64)),
+        ])
+    };
+    let doc = Json::obj([
+        ("bench", Json::Str("serve".to_string())),
+        ("url", Json::Str(base.clone())),
+        ("secs", Json::Num(secs as f64)),
+        ("clients", Json::Num(clients as f64)),
+        ("requests", Json::Num(requests as f64)),
+        ("errors", Json::Num(errors as f64)),
+        ("transport_errors", Json::Num(transport_errors as f64)),
+        ("throughput_rps", Json::Num(throughput)),
+        (
+            "latency_us",
+            Json::obj([
+                ("mean", Json::Num(mean_us)),
+                ("p50", Json::Num(quantile(&all, 0.50) as f64)),
+                ("p95", Json::Num(quantile(&all, 0.95) as f64)),
+                ("p99", Json::Num(quantile(&all, 0.99) as f64)),
+                ("max", Json::Num(all.last().copied().unwrap_or(0) as f64)),
+            ]),
+        ),
+        ("by_class", Json::obj([("eval", class_doc(&eval_sum)), ("sweep", class_doc(&sweep_sum))])),
+        (
+            "cache",
+            Json::obj([
+                ("hits", Json::Num(hits as f64)),
+                ("misses", Json::Num(misses as f64)),
+                ("hit_rate", Json::Num(hit_rate)),
+            ]),
+        ),
+    ]);
+    match std::fs::write("BENCH_serve.json", doc.emit_pretty()) {
+        Ok(()) => eprintln!("wrote BENCH_serve.json"),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_are_exact_order_statistics() {
+        let v = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(quantile(&v, 0.50), 50);
+        assert_eq!(quantile(&v, 0.95), 100);
+        assert_eq!(quantile(&v, 0.99), 100);
+        assert_eq!(quantile(&v, 1.0), 100);
+        assert_eq!(quantile(&v[..1], 0.5), 10);
+        assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn workload_mix_covers_all_apps_and_both_classes() {
+        let urls = workload("http://h:1");
+        assert!(urls.iter().any(|(c, _)| *c == Class::Sweep));
+        for app in ["gtc", "lbmhd", "paratec", "fvcam"] {
+            assert!(urls.iter().any(|(_, u)| u.contains(&format!("app={app}"))), "{app}");
+        }
+        // The mix must repeat points (cache-friendliness is the point).
+        assert!(urls.len() < 64);
+    }
+}

@@ -1,86 +1,57 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and runs
+//! the serve/loadgen benchmark pair.
 //!
-//! Usage:
-//! `repro [table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|profile|all]`
-//!
-//! `fig2` accepts an optional mesh divisor (default 4; 1 = the full D
-//! mesh, slower). `harness` accepts an optional timed-sample count
-//! (default 11) and writes `BENCH_kernels.json` / `BENCH_apps.json`.
-//! `profile` runs every app's instrumented calibration capture and
-//! writes `PROFILE_<app>.json` per-phase counter profiles. `all` prints
-//! everything except `validate`, `harness`, and `profile`.
+//! Run `repro help` for the full subcommand list; it is derived from the
+//! same table that drives dispatch and the unknown-subcommand error, so
+//! the three can never drift apart.
 
 use bench::{experiments, render, validate};
 use report::paper;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
-    match what {
-        "table1" => print!("{}", render::table1().render()),
-        "table2" => table2(),
-        "fig2" => {
-            let scale: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+/// One `repro` subcommand: its name, argument hint, one-line help, and
+/// handler. Usage text, dispatch, and the unknown-subcommand error are
+/// all derived from [`COMMANDS`].
+struct Cmd {
+    name: &'static str,
+    args: &'static str,
+    help: &'static str,
+    run: fn(&[String]),
+}
+
+const COMMANDS: &[Cmd] = &[
+    Cmd {
+        name: "table1",
+        args: "",
+        help: "architectural highlights of the eight platforms",
+        run: |_| print!("{}", render::table1().render()),
+    },
+    Cmd {
+        name: "table2",
+        args: "",
+        help: "application overview with this repo's lines of code",
+        run: |_| table2(),
+    },
+    Cmd {
+        name: "fig2",
+        args: "[mesh-divisor]",
+        help: "FVCAM point-to-point traffic matrices (default divisor 4; 1 = full D mesh)",
+        run: |args| {
+            let scale: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
             fig2(scale);
-        }
-        "table3" => table3(),
-        "fig3" => {
-            print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS))
-        }
-        "fig4" => print!(
-            "{}",
-            render::fig4(
-                &experiments::fvcam_rows(),
-                &paper::FVCAM_PLATFORMS,
-                fvcam::model::D_MESH_STEPS_PER_DAY
-            )
-        ),
-        "table4" => print!(
-            "{}",
-            render::perf_table(
-                "Table 4: GTC performance (weak scaling, 3.2M particles/processor)",
-                &paper::PLATFORMS,
-                &experiments::gtc_rows()
-            )
-            .render()
-        ),
-        "table5" => print!(
-            "{}",
-            render::perf_table(
-                "Table 5: LBMHD3D performance",
-                &paper::PLATFORMS,
-                &experiments::lbmhd_rows()
-            )
-            .render()
-        ),
-        "table6" => print!(
-            "{}",
-            render::perf_table(
-                "Table 6: PARATEC performance (488-atom CdSe quantum dot)",
-                &paper::PLATFORMS,
-                &experiments::paratec_rows()
-            )
-            .render()
-        ),
-        "fig8" => {
-            print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS))
-        }
-        "validate" => validate_all(),
-        "harness" => {
-            let iters: usize =
-                args.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::harness::DEFAULT_ITERS);
-            bench::harness::run(iters.max(1));
-        }
-        "profile" => bench::profile::run(),
-        "all" => {
-            print!("{}", render::table1().render());
-            println!();
-            table2();
-            println!();
-            table3();
-            println!();
-            print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS));
-            println!();
+        },
+    },
+    Cmd { name: "table3", args: "", help: "FVCAM performance on the D mesh", run: |_| table3() },
+    Cmd {
+        name: "fig3",
+        args: "",
+        help: "FVCAM Gflop/P scaling curves",
+        run: |_| print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS)),
+    },
+    Cmd {
+        name: "fig4",
+        args: "",
+        help: "FVCAM simulated-years-per-day scaling",
+        run: |_| {
             print!(
                 "{}",
                 render::fig4(
@@ -88,27 +59,218 @@ fn main() {
                     &paper::FVCAM_PLATFORMS,
                     fvcam::model::D_MESH_STEPS_PER_DAY
                 )
-            );
-            println!();
-            for (title, rows) in [
-                ("Table 4: GTC performance", experiments::gtc_rows()),
-                ("Table 5: LBMHD3D performance", experiments::lbmhd_rows()),
-                ("Table 6: PARATEC performance", experiments::paratec_rows()),
-            ] {
-                print!("{}", render::perf_table(title, &paper::PLATFORMS, &rows).render());
-                println!();
-            }
-            print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS));
-            println!();
-            fig2(8);
-        }
-        other => {
-            eprintln!(
-                "unknown target '{other}'; expected table1|table2|fig2|table3|fig3|fig4|table4|table5|table6|fig8|validate|harness|profile|all"
-            );
+            )
+        },
+    },
+    Cmd {
+        name: "table4",
+        args: "",
+        help: "GTC weak-scaling performance",
+        run: |_| {
+            print!(
+                "{}",
+                render::perf_table(
+                    "Table 4: GTC performance (weak scaling, 3.2M particles/processor)",
+                    &paper::PLATFORMS,
+                    &experiments::gtc_rows()
+                )
+                .render()
+            )
+        },
+    },
+    Cmd {
+        name: "table5",
+        args: "",
+        help: "LBMHD3D performance",
+        run: |_| {
+            print!(
+                "{}",
+                render::perf_table(
+                    "Table 5: LBMHD3D performance",
+                    &paper::PLATFORMS,
+                    &experiments::lbmhd_rows()
+                )
+                .render()
+            )
+        },
+    },
+    Cmd {
+        name: "table6",
+        args: "",
+        help: "PARATEC performance",
+        run: |_| {
+            print!(
+                "{}",
+                render::perf_table(
+                    "Table 6: PARATEC performance (488-atom CdSe quantum dot)",
+                    &paper::PLATFORMS,
+                    &experiments::paratec_rows()
+                )
+                .render()
+            )
+        },
+    },
+    Cmd {
+        name: "fig8",
+        args: "",
+        help: "summary of all four applications at P=256",
+        run: |_| print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS)),
+    },
+    Cmd {
+        name: "validate",
+        args: "",
+        help: "shape comparison against the paper's published numbers",
+        run: |_| validate_all(),
+    },
+    Cmd {
+        name: "harness",
+        args: "[samples]",
+        help: "timed micro/app benchmarks; writes BENCH_kernels.json / BENCH_apps.json",
+        run: |args| {
+            let iters: usize =
+                args.first().and_then(|s| s.parse().ok()).unwrap_or(bench::harness::DEFAULT_ITERS);
+            bench::harness::run(iters.max(1));
+        },
+    },
+    Cmd {
+        name: "profile",
+        args: "",
+        help: "calibration captures; writes PROFILE_<app>.json",
+        run: |_| bench::profile::run(),
+    },
+    Cmd {
+        name: "serve",
+        args: "[port]",
+        help: "prediction service on 127.0.0.1 (default: ephemeral port; HEC_SERVE_* tune it)",
+        run: |args| serve(args),
+    },
+    Cmd {
+        name: "loadgen",
+        args: "<url> [secs] [clients]",
+        help: "closed-loop load test against a serve instance; writes BENCH_serve.json",
+        run: |args| loadgen(args),
+    },
+    Cmd {
+        name: "stop",
+        args: "<url>",
+        help: "gracefully stop a serve instance (drains in-flight requests)",
+        run: |args| stop(args),
+    },
+    Cmd {
+        name: "all",
+        args: "",
+        help: "everything except validate/harness/profile/serve",
+        run: |_| all(),
+    },
+    Cmd { name: "help", args: "", help: "this list", run: |_| print!("{}", usage()) },
+];
+
+fn usage() -> String {
+    let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    let width = COMMANDS.iter().map(|c| c.name.len() + 1 + c.args.len()).max().unwrap_or(0);
+    let mut out = format!("usage: repro [{}]\n\nsubcommands:\n", names.join("|"));
+    for c in COMMANDS {
+        let left =
+            if c.args.is_empty() { c.name.to_string() } else { format!("{} {}", c.name, c.args) };
+        out.push_str(&format!("  {left:width$}  {}\n", c.help));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(|s| s.as_str()).unwrap_or("all");
+    match COMMANDS.iter().find(|c| c.name == what) {
+        Some(cmd) => (cmd.run)(&args[1..]),
+        None => {
+            let names: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+            eprintln!("unknown target '{what}'; expected {}", names.join("|"));
             std::process::exit(2);
         }
     }
+}
+
+fn serve(args: &[String]) {
+    let port: u16 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let cfg = hec_serve::server::ServeConfig::from_env(port);
+    let server = match hec_serve::server::start(cfg.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The log line the CI smoke (and humans) parse for the bound port.
+    println!("listening on {}", server.addr());
+    println!("workers={} queue={} cache={}", cfg.workers, cfg.queue, cfg.cache_capacity);
+    server.join();
+    println!("serve: drained and stopped");
+}
+
+fn loadgen(args: &[String]) {
+    let Some(url) = args.first() else {
+        eprintln!("usage: repro loadgen <url> [secs] [clients]");
+        std::process::exit(2);
+    };
+    let secs: u64 =
+        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_SECS);
+    let clients: usize =
+        args.get(2).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_CLIENTS);
+    let errors = bench::loadgen::run(url, secs, clients);
+    if errors > 0 {
+        eprintln!("loadgen: {errors} error responses");
+        std::process::exit(1);
+    }
+}
+
+fn stop(args: &[String]) {
+    let Some(url) = args.first() else {
+        eprintln!("usage: repro stop <url>");
+        std::process::exit(2);
+    };
+    let url = format!("{}/shutdown", url.trim_end_matches('/'));
+    match hec_serve::client::http_post(&url, "") {
+        Ok(r) if r.status == 200 => println!("stopping"),
+        Ok(r) => {
+            eprintln!("unexpected status {} from {url}", r.status);
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("could not reach {url}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn all() {
+    print!("{}", render::table1().render());
+    println!();
+    table2();
+    println!();
+    table3();
+    println!();
+    print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS));
+    println!();
+    print!(
+        "{}",
+        render::fig4(
+            &experiments::fvcam_rows(),
+            &paper::FVCAM_PLATFORMS,
+            fvcam::model::D_MESH_STEPS_PER_DAY
+        )
+    );
+    println!();
+    for (title, rows) in [
+        ("Table 4: GTC performance", experiments::gtc_rows()),
+        ("Table 5: LBMHD3D performance", experiments::lbmhd_rows()),
+        ("Table 6: PARATEC performance", experiments::paratec_rows()),
+    ] {
+        print!("{}", render::perf_table(title, &paper::PLATFORMS, &rows).render());
+        println!();
+    }
+    print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS));
+    println!();
+    fig2(8);
 }
 
 fn table2() {

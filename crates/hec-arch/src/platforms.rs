@@ -57,6 +57,21 @@ impl PlatformId {
             PlatformId::Sx8 => "SX-8",
         }
     }
+
+    /// Parses a platform name as service input. Accepts the exact paper
+    /// label and any spelling that matches it after dropping case and
+    /// non-alphanumerics — `"x1msp"`, `"X1-MSP"`, and `"X1 (MSP)"` are the
+    /// same platform; `"sx8"` is the SX-8.
+    pub fn parse(s: &str) -> Option<PlatformId> {
+        fn fold(s: &str) -> String {
+            s.chars().filter(char::is_ascii_alphanumeric).map(|c| c.to_ascii_lowercase()).collect()
+        }
+        let want = fold(s);
+        if want.is_empty() {
+            return None;
+        }
+        PlatformId::ALL.into_iter().find(|id| fold(id.label()) == want)
+    }
 }
 
 impl ToJson for PlatformId {
@@ -528,6 +543,22 @@ pub const SX8: Platform = Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn platform_parse_accepts_labels_and_aliases() {
+        for id in PlatformId::ALL {
+            assert_eq!(PlatformId::parse(id.label()), Some(id), "{}", id.label());
+        }
+        assert_eq!(PlatformId::parse("x1msp"), Some(PlatformId::X1Msp));
+        assert_eq!(PlatformId::parse("X1-SSP"), Some(PlatformId::X1Ssp));
+        assert_eq!(PlatformId::parse("x1e (msp)"), Some(PlatformId::X1e));
+        assert_eq!(PlatformId::parse("sx8"), Some(PlatformId::Sx8));
+        assert_eq!(PlatformId::parse("es"), Some(PlatformId::Es));
+        assert_eq!(PlatformId::parse("POWER3"), Some(PlatformId::Power3));
+        assert_eq!(PlatformId::parse("cray t3e"), None);
+        assert_eq!(PlatformId::parse(""), None);
+        assert_eq!(PlatformId::parse("()"), None);
+    }
 
     #[test]
     fn table1_bytes_per_flop_ratios() {

@@ -11,6 +11,12 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth [`Json::parse`] accepts. The parser
+/// recurses per nesting level, so adversarial input (the serve path
+/// parses request bodies off the wire) must hit a parse error long
+/// before it can exhaust the stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {
@@ -199,7 +205,7 @@ impl Json {
     /// # Errors
     /// Returns [`JsonError`] with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -253,6 +259,7 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -301,12 +308,24 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Bumps the container nesting depth; errors (instead of recursing
+    /// toward a stack overflow) past [`MAX_PARSE_DEPTH`].
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err(&format!("nesting deeper than {MAX_PARSE_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -317,6 +336,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -326,10 +346,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.descend()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -345,6 +367,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -454,7 +477,14 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("malformed number"))
+        let x = text.parse::<f64>().map_err(|_| self.err("malformed number"))?;
+        // `str::parse` rounds overflowing literals like `1e999` to ±Inf;
+        // JSON has no non-finite numbers, and accepting them would let
+        // wire input smuggle Inf/NaN into the models.
+        if !x.is_finite() {
+            return Err(self.err("number literal overflows to a non-finite value"));
+        }
+        Ok(Json::Num(x))
     }
 }
 
@@ -626,6 +656,40 @@ mod tests {
         ] {
             assert!(Json::parse(text).is_err(), "{text:?} should fail");
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_limited() {
+        // A document just inside the limit parses…
+        let ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // …one level deeper is a parse error, not a stack overflow.
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 1) + &"]".repeat(MAX_PARSE_DEPTH + 1);
+        assert!(Json::parse(&deep).is_err());
+        // Adversarially deep input (far beyond the limit, unterminated)
+        // must come back as an error while the stack is still shallow.
+        let hostile = "[".repeat(1 << 20);
+        assert!(Json::parse(&hostile).is_err());
+        let hostile_objs = r#"{"a":"#.repeat(1 << 18);
+        assert!(Json::parse(&hostile_objs).is_err());
+        // Mixed nesting counts both container kinds.
+        let mixed = r#"[{"k":"#.repeat(MAX_PARSE_DEPTH) + "0";
+        assert!(Json::parse(&mixed).is_err());
+        // Sibling (non-nested) containers do not accumulate depth.
+        let wide = format!("[{}]", vec!["[]"; 10_000].join(","));
+        assert!(Json::parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn non_finite_number_literals_are_rejected() {
+        for text in ["1e999", "-1e999", "1e308888", "[1,2,1e400]", r#"{"x":-2.5e310}"#] {
+            assert!(Json::parse(text).is_err(), "{text:?} must not parse");
+        }
+        // Large but finite literals still parse.
+        assert_eq!(Json::parse("1e308").unwrap(), Json::Num(1e308));
+        assert_eq!(Json::parse("-1.7976931348623157e308").unwrap(), Json::Num(f64::MIN));
+        // Underflow to zero is finite and fine.
+        assert_eq!(Json::parse("1e-999").unwrap(), Json::Num(0.0));
     }
 
     #[test]

@@ -209,6 +209,160 @@ impl Threads {
     }
 }
 
+/// Error returned by [`WorkerPool::try_submit`] when the admission queue
+/// is full (or the pool is shutting down): the caller must shed the work
+/// — explicit backpressure instead of unbounded queue growth.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool admission queue is full")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: crate::sync::Mutex<std::collections::VecDeque<Job>>,
+    jobs_cv: crate::sync::Condvar,
+    capacity: usize,
+    shutting_down: std::sync::atomic::AtomicBool,
+}
+
+/// A persistent bounded worker pool: long-lived service loops (the serve
+/// subsystem) need workers that outlive any one call, unlike the scoped
+/// fork-join loops [`Threads`] covers.
+///
+/// The admission queue is bounded at construction; [`WorkerPool::try_submit`]
+/// refuses work with [`QueueFull`] instead of queueing without limit, so
+/// memory stays bounded and callers can surface backpressure (HTTP 503).
+/// [`WorkerPool::shutdown`] is graceful: already-admitted jobs are drained
+/// before the workers exit. A panicking job is contained to that job — the
+/// worker survives and keeps serving the queue.
+pub struct WorkerPool {
+    shared: std::sync::Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads.workers()` workers sharing one admission queue of
+    /// at most `queue_capacity` waiting jobs (clamped to ≥ 1).
+    pub fn new(threads: Threads, queue_capacity: usize) -> WorkerPool {
+        let shared = std::sync::Arc::new(PoolShared {
+            queue: crate::sync::Mutex::new(std::collections::VecDeque::new()),
+            jobs_cv: crate::sync::Condvar::new(),
+            capacity: queue_capacity.max(1),
+            shutting_down: std::sync::atomic::AtomicBool::new(false),
+        });
+        let workers = (0..threads.workers())
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = shared.queue.lock();
+                        loop {
+                            if let Some(j) = q.pop_front() {
+                                break Some(j);
+                            }
+                            if shared.shutting_down.load(std::sync::atomic::Ordering::SeqCst) {
+                                break None;
+                            }
+                            q = shared.jobs_cv.wait(q);
+                        }
+                    };
+                    match job {
+                        Some(j) => {
+                            // Contain job panics to the job: the pool keeps
+                            // its full worker complement either way.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(j));
+                        }
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Admits `job` if the queue has room, waking one worker. Fails with
+    /// [`QueueFull`] when `queue_capacity` jobs are already waiting or the
+    /// pool is shutting down; the job is returned to the caller by value
+    /// semantics (it was never run).
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), QueueFull> {
+        if self.shared.shutting_down.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(QueueFull);
+        }
+        {
+            let mut q = self.shared.queue.lock();
+            if q.len() >= self.shared.capacity {
+                return Err(QueueFull);
+            }
+            q.push_back(Box::new(job));
+        }
+        self.shared.jobs_cv.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting for a worker (excludes jobs being run).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// The admission-queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A cheap cloneable gauge over this pool's admission queue, for
+    /// observability from threads that do not own the pool.
+    pub fn queue_gauge(&self) -> QueueGauge {
+        QueueGauge { shared: std::sync::Arc::clone(&self.shared) }
+    }
+
+    /// Graceful shutdown: refuses new admissions, lets the workers drain
+    /// every already-admitted job, then joins them.
+    pub fn shutdown(self) {
+        self.shared.shutting_down.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.shared.jobs_cv.notify_all();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Read-only view of a [`WorkerPool`]'s admission queue (see
+/// [`WorkerPool::queue_gauge`]); outlives the pool harmlessly — after
+/// shutdown it reads an empty queue.
+#[derive(Clone)]
+pub struct QueueGauge {
+    shared: std::sync::Arc<PoolShared>,
+}
+
+impl QueueGauge {
+    /// Jobs currently waiting for a worker.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// True when no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission-queue bound.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+}
+
 /// Number of worker threads a parallel call will use for `n` items.
 pub fn workers_for(n: usize) -> usize {
     Threads::from_env().workers().min(n).max(1)
@@ -347,5 +501,103 @@ mod tests {
                 assert_eq!(out, seq, "n={n} w={w}");
             }
         }
+    }
+
+    #[test]
+    fn worker_pool_runs_submitted_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(Threads::new(3), 64);
+        assert_eq!(pool.workers(), 3);
+        assert_eq!(pool.capacity(), 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..40 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn worker_pool_enforces_queue_capacity() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        use std::sync::Barrier;
+        // One worker, blocked on a barrier, so queued jobs stay queued.
+        let pool = WorkerPool::new(Threads::new(1), 2);
+        let gate = Arc::new(Barrier::new(2));
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let gate = Arc::clone(&gate);
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                gate.wait();
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Wait until the worker has picked up the blocking job.
+        while pool.queue_len() > 0 {
+            std::thread::yield_now();
+        }
+        for _ in 0..2 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Queue is now at capacity: the next admission must be refused.
+        let ran2 = Arc::clone(&ran);
+        assert_eq!(
+            pool.try_submit(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            }),
+            Err(QueueFull)
+        );
+        gate.wait();
+        // Shutdown drains the two admitted jobs; the rejected one never ran.
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn worker_pool_survives_panicking_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(Threads::new(1), 16);
+        let done = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(|| panic!("job panic must not kill the worker")).unwrap();
+        {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 1, "worker must outlive a panicking job");
+    }
+
+    #[test]
+    fn worker_pool_shutdown_drains_queued_jobs() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let pool = WorkerPool::new(Threads::new(2), 128);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.try_submit(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Shut down immediately: every admitted job must still run.
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
     }
 }

@@ -27,7 +27,7 @@
 //!    events. Captures must not nest (the second would deadlock).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -317,9 +317,88 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Capture) {
     (out, cap)
 }
 
+/// An always-on cumulative counter for service observability.
+///
+/// Unlike the capture-scoped phase counters above — which are part of the
+/// determinism contract and only record inside [`capture`] — meters record
+/// unconditionally for the life of the process. They exist for `/metrics`
+/// style export (request counts, cache hits, queue rejections) and are
+/// explicitly *outside* the bitwise-reproducibility contract.
+#[derive(Clone)]
+pub struct Meter {
+    cell: std::sync::Arc<AtomicU64>,
+}
+
+impl Meter {
+    /// Adds `delta` to the meter.
+    pub fn add(&self, delta: u64) {
+        self.cell.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one to the meter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current cumulative value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+fn meter_registry() -> &'static Mutex<BTreeMap<String, std::sync::Arc<AtomicU64>>> {
+    static METERS: OnceLock<Mutex<BTreeMap<String, std::sync::Arc<AtomicU64>>>> = OnceLock::new();
+    METERS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Returns the process-wide meter named `name`, creating it at zero on
+/// first use. Handles are cheap clones of one shared cell, so two callers
+/// asking for the same name always observe the same count.
+pub fn meter(name: &str) -> Meter {
+    let mut reg = meter_registry().lock();
+    let cell =
+        reg.entry(name.to_string()).or_insert_with(|| std::sync::Arc::new(AtomicU64::new(0)));
+    Meter { cell: std::sync::Arc::clone(cell) }
+}
+
+/// Snapshot of every meter, sorted by name for deterministic export.
+pub fn meters() -> Vec<(String, u64)> {
+    meter_registry()
+        .lock()
+        .iter()
+        .map(|(name, cell)| (name.clone(), cell.load(Ordering::Relaxed)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn meters_accumulate_and_share_by_name() {
+        let a = meter("probe.test.shared");
+        let b = meter("probe.test.shared");
+        let before = a.get();
+        a.incr();
+        b.add(4);
+        assert_eq!(a.get(), before + 5, "same-name handles must share one cell");
+        let snap = meters();
+        let entry = snap.iter().find(|(n, _)| n == "probe.test.shared");
+        assert_eq!(entry.map(|(_, v)| *v), Some(before + 5));
+        let names: Vec<_> = snap.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "meter snapshot must be name-sorted");
+    }
+
+    #[test]
+    fn meters_record_outside_captures() {
+        assert!(!enabled());
+        let m = meter("probe.test.outside");
+        let before = m.get();
+        m.incr();
+        assert_eq!(m.get(), before + 1, "meters must count with probes disabled");
+    }
 
     #[test]
     fn disabled_probes_record_nothing() {

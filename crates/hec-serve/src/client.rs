@@ -1,0 +1,126 @@
+//! Minimal HTTP/1.1 client for the load generator and the e2e tests.
+//!
+//! Matches the server's dialect exactly: one request per connection,
+//! `Connection: close`, bodies delimited by `Content-Length` (with
+//! read-to-EOF as the fallback). Only `http://host:port/path` URLs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Raw header lines (name-case preserved), without the status line.
+    pub headers: Vec<(String, String)>,
+    /// The body as text.
+    pub body: String,
+}
+
+impl Response {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
+    }
+}
+
+/// `(host:port, path?query)` from an `http://` URL.
+fn split_url(url: &str) -> std::io::Result<(String, String)> {
+    let rest = url.strip_prefix("http://").ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("not an http:// url: {url}"))
+    })?;
+    let (authority, path) = match rest.split_once('/') {
+        Some((a, p)) => (a.to_string(), format!("/{p}")),
+        None => (rest.to_string(), "/".to_string()),
+    };
+    if authority.is_empty() {
+        return Err(std::io::Error::new(std::io::ErrorKind::InvalidInput, "empty host"));
+    }
+    Ok((authority, path))
+}
+
+fn request(method: &str, url: &str, body: Option<&str>) -> std::io::Result<Response> {
+    let (authority, path) = split_url(url)?;
+    let mut stream = TcpStream::connect(&authority)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(req.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 =
+        status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line: {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((k, v)) = line.split_once(':') {
+            let (k, v) = (k.trim().to_string(), v.trim().to_string());
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.parse().ok();
+            }
+            headers.push((k, v));
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+    };
+    Ok(Response { status, headers, body })
+}
+
+/// Issues a GET and reads the full response.
+pub fn http_get(url: &str) -> std::io::Result<Response> {
+    request("GET", url, None)
+}
+
+/// Issues a POST with a body and reads the full response.
+pub fn http_post(url: &str, body: &str) -> std::io::Result<Response> {
+    request("POST", url, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            split_url("http://127.0.0.1:8080/eval?x=1").unwrap(),
+            ("127.0.0.1:8080".to_string(), "/eval?x=1".to_string())
+        );
+        assert_eq!(
+            split_url("http://localhost:9").unwrap(),
+            ("localhost:9".to_string(), "/".to_string())
+        );
+        assert!(split_url("https://secure").is_err());
+        assert!(split_url("ftp://x").is_err());
+        assert!(split_url("http:///path").is_err());
+    }
+}

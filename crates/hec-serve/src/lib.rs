@@ -1,0 +1,38 @@
+//! Prediction-as-a-service: the paper's cross-platform performance model
+//! behind an HTTP/1.1 endpoint (DESIGN §8).
+//!
+//! The SC'05 study's lasting value is a *queryable* model — who wins, by
+//! what factor, where scaling rolls over — not the printed tables. This
+//! crate serves that model over the wire, std-only per DESIGN §6
+//! (`std::net::TcpListener`, no external crates):
+//!
+//! * [`engine`] — the evaluation core: per-(app, platform, concurrency)
+//!   point evaluation plus the Table 3–6 row builders, moved here from
+//!   `bench::experiments` so the service and the CLI share one code path.
+//! * [`request`] — request canonicalization: every way of spelling a
+//!   point (query string, JSON body, platform aliases) collapses to one
+//!   [`request::Point`] whose canonical key is the cache key.
+//! * [`cache`] — a sharded LRU over evaluated points. Sweeps decompose
+//!   into per-point entries, so overlapping sweeps and single-point
+//!   requests share work.
+//! * [`batch`] — leader/follower micro-batching: concurrent single-point
+//!   misses for the same app coalesce into one batched evaluation.
+//! * [`server`] — the listener: bounded worker pool with admission queue
+//!   (queue-full ⇒ 503 + `Retry-After`), `/metrics`, graceful shutdown
+//!   that drains in-flight requests.
+//! * [`client`] — the minimal HTTP/1.1 client the load generator and the
+//!   e2e tests use.
+//! * [`metrics`] — per-endpoint latency histograms and meter export.
+//!
+//! Determinism contract: responses are emitted from ordered JSON objects
+//! and cached *values* (never formatted strings are recomputed), so a
+//! cached response is bitwise equal to the uncached response for the
+//! same canonical request.
+
+pub mod batch;
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+pub mod server;

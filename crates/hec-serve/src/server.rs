@@ -1,0 +1,614 @@
+//! The HTTP/1.1 listener: bounded worker pool, admission control,
+//! metrics, graceful shutdown (DESIGN §8).
+//!
+//! One acceptor thread owns a [`hec_core::pool::WorkerPool`]. Every
+//! accepted connection is submitted to the pool's bounded admission
+//! queue; when the queue is full the acceptor answers `503` with
+//! `Retry-After` inline and closes — load never turns into unbounded
+//! memory. Shutdown (the `/shutdown` endpoint or [`Server::shutdown`])
+//! stops admissions, drains every already-admitted connection, then
+//! joins the workers: in-flight requests always complete.
+//!
+//! Protocol surface (all responses `Connection: close`, JSON bodies):
+//!
+//! | endpoint | method | purpose |
+//! |---|---|---|
+//! | `/healthz` | GET | liveness |
+//! | `/eval` | GET query / POST JSON | one prediction point |
+//! | `/sweep?app=<app>` | GET | a full Table 3–6 row set |
+//! | `/metrics` | GET | meters, cache, queue, latency histograms |
+//! | `/shutdown` | POST/GET | graceful stop |
+//! | `/debug/sleep?ms=N` | GET | a deliberately slow request (tests) |
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use hec_core::json::Json;
+use hec_core::pool::{QueueGauge, Threads, WorkerPool};
+use hec_core::probe;
+
+use crate::batch::Batcher;
+use crate::cache::ShardedLru;
+use crate::engine::{self, AppId, Cell};
+use crate::metrics::Histogram;
+use crate::request::{parse_query, Point};
+
+/// Largest request head+body the server reads; larger requests get 400.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+/// `Retry-After` seconds advertised on queue-full 503s.
+pub const RETRY_AFTER_SECS: u64 = 1;
+/// Upper bound on `/debug/sleep` (keeps tests honest and ops safe).
+pub const MAX_DEBUG_SLEEP_MS: u64 = 10_000;
+
+/// Server tuning. `Default` reads the environment.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads (default: the `HEC_THREADS` policy).
+    pub workers: usize,
+    /// Admission-queue bound (connections waiting for a worker).
+    pub queue: usize,
+    /// Point-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl ServeConfig {
+    /// Configuration from the environment: `HEC_SERVE_WORKERS`,
+    /// `HEC_SERVE_QUEUE`, `HEC_SERVE_CACHE` override the defaults;
+    /// workers default to the `HEC_THREADS` policy
+    /// ([`Threads::from_env`]).
+    pub fn from_env(port: u16) -> ServeConfig {
+        let get = |name: &str, default: usize| -> usize {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or(default)
+        };
+        ServeConfig {
+            port,
+            workers: get("HEC_SERVE_WORKERS", Threads::from_env().workers().max(2)),
+            queue: get("HEC_SERVE_QUEUE", 64),
+            cache_capacity: get("HEC_SERVE_CACHE", 4096),
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::from_env(0)
+    }
+}
+
+/// Shared service state: cache, batcher, meters, histograms.
+pub struct ServeState {
+    cache: ShardedLru,
+    batcher: Batcher,
+    queue: QueueGauge,
+    stop: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+    requests: probe::Meter,
+    errors: probe::Meter,
+    rejected: probe::Meter,
+    lat_eval: Histogram,
+    lat_sweep: Histogram,
+    lat_other: Histogram,
+}
+
+impl ServeState {
+    /// Evaluates one canonical point through cache and batcher. The
+    /// cached and uncached paths return the same value, and responses
+    /// are always emitted from the value — bitwise-equal bodies.
+    fn eval_point(&self, point: &Point) -> Option<Cell> {
+        if let Some(cached) = self.cache.get(&point.canonical_key()) {
+            return cached;
+        }
+        let cell = self.batcher.eval(point);
+        self.cache.put(point.canonical_key(), cell);
+        cell
+    }
+
+    /// The `/metrics` document: process-wide meters, this server's
+    /// cache/queue state, and per-endpoint latency histograms.
+    fn metrics_doc(&self) -> Json {
+        let meters =
+            Json::Obj(probe::meters().into_iter().map(|(k, v)| (k, Json::Num(v as f64))).collect());
+        let hist = |h: &Histogram| {
+            Json::obj([
+                ("count", Json::Num(h.count() as f64)),
+                ("sum_us", Json::Num(h.sum_us() as f64)),
+                ("p50_us", Json::Num(h.quantile_us(0.50) as f64)),
+                ("p95_us", Json::Num(h.quantile_us(0.95) as f64)),
+                ("p99_us", Json::Num(h.quantile_us(0.99) as f64)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        h.nonzero_buckets()
+                            .into_iter()
+                            .map(|(le, c)| {
+                                Json::obj([
+                                    ("le_us", Json::Num(le as f64)),
+                                    ("count", Json::Num(c as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        Json::obj([
+            ("uptime_secs", Json::Num(self.started.elapsed().as_secs_f64())),
+            ("requests", Json::Num(self.requests.get() as f64)),
+            ("errors", Json::Num(self.errors.get() as f64)),
+            ("rejected", Json::Num(self.rejected.get() as f64)),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::Num(self.cache.hits() as f64)),
+                    ("misses", Json::Num(self.cache.misses() as f64)),
+                    ("entries", Json::Num(self.cache.len() as f64)),
+                ]),
+            ),
+            (
+                "queue",
+                Json::obj([
+                    ("depth", Json::Num(self.queue.len() as f64)),
+                    ("capacity", Json::Num(self.queue.capacity() as f64)),
+                ]),
+            ),
+            (
+                "latency",
+                Json::obj([
+                    ("eval", hist(&self.lat_eval)),
+                    ("sweep", hist(&self.lat_sweep)),
+                    ("other", hist(&self.lat_other)),
+                ]),
+            ),
+            ("meters", meters),
+        ])
+    }
+}
+
+/// Renders one evaluated point as the `/eval` response document.
+/// Public so tests and the CLI can build the expected bytes in-process.
+pub fn point_doc(point: &Point, cell: Option<Cell>) -> Json {
+    let mut fields = vec![
+        ("app".to_string(), Json::Str(point.app.name().to_string())),
+        ("platform".to_string(), Json::Str(point.sel.label().to_string())),
+        ("procs".to_string(), Json::Num(point.spec.procs as f64)),
+    ];
+    if let Some(pz) = point.spec.pz {
+        fields.push(("pz".to_string(), Json::Num(pz as f64)));
+    }
+    if let Some(n) = point.spec.n {
+        fields.push(("n".to_string(), Json::Num(n as f64)));
+    }
+    fields.push(("feasible".to_string(), Json::Bool(cell.is_some())));
+    if let Some(c) = cell {
+        fields.push(("gflops_per_proc".to_string(), Json::Num(c.gflops)));
+        fields.push(("percent_of_peak".to_string(), Json::Num(c.pct_peak)));
+        fields.push(("step_secs".to_string(), Json::Num(c.step_secs)));
+    }
+    Json::Obj(fields)
+}
+
+/// The exact `/eval` response body for `point` — the service's
+/// determinism contract is that the wire bytes equal this string.
+pub fn point_response_body(point: &Point, cell: Option<Cell>) -> String {
+    point_doc(point, cell).emit_pretty()
+}
+
+/// Renders a full sweep for `app` from per-point cells supplied by
+/// `eval` (the server passes its cached path; tests pass direct
+/// evaluation — the bodies must agree bitwise).
+pub fn sweep_doc(app: AppId, mut eval: impl FnMut(&Point) -> Option<Cell>) -> Json {
+    let rows: Vec<Json> = engine::row_specs(app)
+        .into_iter()
+        .map(|rs| {
+            let cells: Vec<Json> = rs
+                .columns
+                .iter()
+                .map(|col| match col {
+                    None => Json::Null,
+                    Some(sel) => {
+                        let point = Point { app, sel: *sel, spec: rs.spec };
+                        let cell = eval(&point);
+                        let mut f = vec![
+                            ("platform".to_string(), Json::Str(sel.label().to_string())),
+                            ("feasible".to_string(), Json::Bool(cell.is_some())),
+                        ];
+                        if let Some(c) = cell {
+                            f.push(("gflops_per_proc".to_string(), Json::Num(c.gflops)));
+                            f.push(("percent_of_peak".to_string(), Json::Num(c.pct_peak)));
+                            f.push(("step_secs".to_string(), Json::Num(c.step_secs)));
+                        }
+                        Json::Obj(f)
+                    }
+                })
+                .collect();
+            let mut f = vec![
+                ("procs".to_string(), Json::Num(rs.procs as f64)),
+                ("label".to_string(), Json::Str(rs.label)),
+            ];
+            if let Some(pz) = rs.spec.pz {
+                f.push(("pz".to_string(), Json::Num(pz as f64)));
+            }
+            if let Some(n) = rs.spec.n {
+                f.push(("n".to_string(), Json::Num(n as f64)));
+            }
+            f.push(("cells".to_string(), Json::Arr(cells)));
+            Json::Obj(f)
+        })
+        .collect();
+    Json::obj([("app", Json::Str(app.name().to_string())), ("rows", Json::Arr(rows))])
+}
+
+/// The exact `/sweep` response body for `app` under `eval`.
+pub fn sweep_response_body(app: AppId, eval: impl FnMut(&Point) -> Option<Cell>) -> String {
+    sweep_doc(app, eval).emit_pretty()
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    query: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut line = String::new();
+    reader
+        .by_ref()
+        .take(MAX_REQUEST_BYTES as u64)
+        .read_line(&mut line)
+        .map_err(|e| e.to_string())?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || !target.starts_with('/') {
+        return Err("malformed request line".into());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target, String::new()),
+    };
+    // Headers: only Content-Length matters to us.
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut h = String::new();
+        let n = reader
+            .by_ref()
+            .take((MAX_REQUEST_BYTES - head_bytes.min(MAX_REQUEST_BYTES)) as u64)
+            .read_line(&mut h)
+            .map_err(|e| e.to_string())?;
+        head_bytes += n;
+        if n == 0 || h == "\r\n" || h == "\n" {
+            break;
+        }
+        if head_bytes >= MAX_REQUEST_BYTES {
+            return Err("request head too large".into());
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length =
+                    value.trim().parse().map_err(|_| "bad Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Err("request body too large".into());
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok(Request { method, path, query, body: String::from_utf8_lossy(&body).into_owned() })
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, code: u16, extra_headers: &[String], body: &str) {
+    let head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n",
+        status_text(code),
+        body.len(),
+        extra_headers.iter().map(|h| format!("{h}\r\n")).collect::<String>(),
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(msg: &str) -> String {
+    Json::obj([("error", Json::Str(msg.to_string()))]).emit_pretty()
+}
+
+/// Writes the queue-full rejection: `503` + `Retry-After`, constant-size
+/// body, no allocation-heavy work — this runs on the acceptor thread.
+fn write_503(stream: &mut TcpStream) {
+    write_response(
+        stream,
+        503,
+        &[format!("Retry-After: {RETRY_AFTER_SECS}")],
+        &error_body("admission queue full; retry"),
+    );
+}
+
+fn handle_conn(mut stream: TcpStream, state: &Arc<ServeState>) {
+    let t0 = Instant::now();
+    state.requests.incr();
+    let req = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            state.errors.incr();
+            write_response(&mut stream, 400, &[], &error_body(&e));
+            state.lat_other.record(t0.elapsed());
+            return;
+        }
+    };
+    let (code, body) = route(&req, state);
+    if code >= 400 {
+        state.errors.incr();
+    }
+    write_response(&mut stream, code, &[], &body);
+    match req.path.as_str() {
+        "/eval" => state.lat_eval.record(t0.elapsed()),
+        "/sweep" => state.lat_sweep.record(t0.elapsed()),
+        _ => state.lat_other.record(t0.elapsed()),
+    }
+}
+
+fn route(req: &Request, state: &Arc<ServeState>) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, Json::obj([("ok", Json::Bool(true))]).emit_pretty()),
+        ("GET", "/eval") => match Point::from_query(&req.query) {
+            Ok(p) => (200, point_response_body(&p, state.eval_point(&p))),
+            Err(e) => (400, error_body(&e.0)),
+        },
+        ("POST", "/eval") => match Point::from_json_text(&req.body) {
+            Ok(p) => (200, point_response_body(&p, state.eval_point(&p))),
+            Err(e) => (400, error_body(&e.0)),
+        },
+        ("GET", "/sweep") => {
+            let app = parse_query(&req.query)
+                .into_iter()
+                .find(|(k, _)| k == "app")
+                .and_then(|(_, v)| AppId::parse(&v));
+            match app {
+                Some(app) => (200, sweep_response_body(app, |p| state.eval_point(p))),
+                None => (400, error_body("sweep needs app=fvcam|gtc|lbmhd|paratec")),
+            }
+        }
+        ("GET", "/metrics") => (200, state.metrics_doc().emit_pretty()),
+        ("GET" | "POST", "/shutdown") => {
+            state.stop.store(true, Ordering::SeqCst);
+            // Wake the acceptor: it is blocked in accept(); a throwaway
+            // connection makes it re-check the stop flag.
+            let _ = TcpStream::connect(state.addr);
+            (200, Json::obj([("stopping", Json::Bool(true))]).emit_pretty())
+        }
+        ("GET", "/debug/sleep") => {
+            let ms: u64 = parse_query(&req.query)
+                .into_iter()
+                .find(|(k, _)| k == "ms")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0);
+            let ms = ms.min(MAX_DEBUG_SLEEP_MS);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            (200, Json::obj([("slept_ms", Json::Num(ms as f64))]).emit_pretty())
+        }
+        (_, "/eval" | "/sweep" | "/metrics" | "/healthz" | "/shutdown" | "/debug/sleep") => {
+            (405, error_body("method not allowed"))
+        }
+        _ => (404, error_body("no such endpoint")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+/// A running server; dropping it does *not* stop it — call
+/// [`Server::shutdown`] then [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    acceptor: std::thread::JoinHandle<()>,
+}
+
+impl Server {
+    /// The bound address (`127.0.0.1` with the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful stop: no new admissions; queued and in-flight
+    /// requests complete. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the acceptor (and so the drained worker pool) to exit.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+
+    /// True once a stop has been requested.
+    pub fn stopping(&self) -> bool {
+        self.state.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// Starts a server on `127.0.0.1:cfg.port`. Returns once the socket is
+/// bound and accepting; the acceptor and its workers run until a
+/// shutdown is requested.
+pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
+    let addr = listener.local_addr()?;
+    let pool = WorkerPool::new(Threads::new(cfg.workers), cfg.queue);
+    let state = Arc::new(ServeState {
+        cache: ShardedLru::new(cfg.cache_capacity),
+        batcher: Batcher::new(),
+        queue: pool.queue_gauge(),
+        stop: AtomicBool::new(false),
+        addr,
+        started: Instant::now(),
+        requests: probe::meter("serve.requests"),
+        errors: probe::meter("serve.errors"),
+        rejected: probe::meter("serve.rejected"),
+        lat_eval: Histogram::new(),
+        lat_sweep: Histogram::new(),
+        lat_other: Histogram::new(),
+    });
+    let accept_state = Arc::clone(&state);
+    let acceptor = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            // Duplicate the socket handle up front: if admission fails,
+            // the job closure (owning `stream`) is dropped, and the
+            // duplicate still lets us answer 503 + Retry-After inline.
+            let reject_handle = stream.try_clone();
+            let job_state = Arc::clone(&accept_state);
+            if pool.try_submit(move || handle_conn(stream, &job_state)).is_err() {
+                accept_state.requests.incr();
+                accept_state.rejected.incr();
+                accept_state.errors.incr();
+                if let Ok(mut s) = reject_handle {
+                    write_503(&mut s);
+                }
+            }
+        }
+        // Drain: every admitted connection is served before the workers
+        // exit, so shutdown never drops in-flight work.
+        pool.shutdown();
+    });
+    Ok(Server { addr, state, acceptor })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::engine::{PlatformSel, PointSpec};
+    use hec_arch::PlatformId;
+
+    fn test_server() -> Server {
+        start(ServeConfig { port: 0, workers: 2, queue: 8, cache_capacity: 256 }).unwrap()
+    }
+
+    #[test]
+    fn healthz_and_404_and_405() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        let ok = client::http_get(&format!("{base}/healthz")).unwrap();
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, "{\n  \"ok\": true\n}\n");
+        assert_eq!(client::http_get(&format!("{base}/nope")).unwrap().status, 404);
+        assert_eq!(client::http_post(&format!("{base}/metrics"), "").unwrap().status, 405);
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn eval_get_and_post_agree_with_in_process_bytes() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        let point = Point {
+            app: AppId::Gtc,
+            sel: PlatformSel::Direct(PlatformId::X1Msp),
+            spec: PointSpec::procs(256),
+        };
+        let want = point_response_body(&point, point.eval());
+        let got =
+            client::http_get(&format!("{base}/eval?app=gtc&platform=x1msp&procs=256")).unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, want, "served bytes must equal in-process bytes");
+        let post = client::http_post(
+            &format!("{base}/eval"),
+            r#"{"app":"GTC","platform":"X1 (MSP)","procs":256}"#,
+        )
+        .unwrap();
+        assert_eq!(post.status, 200);
+        assert_eq!(post.body, want, "POST spelling must canonicalize to the same bytes");
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn bad_requests_get_400_with_an_error_field() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        for q in ["app=gtc", "app=gtc&platform=t3e&procs=64", "app=gtc&platform=es&procs=64&x=1"] {
+            let r = client::http_get(&format!("{base}/eval?{q}")).unwrap();
+            assert_eq!(r.status, 400, "{q}");
+            assert!(Json::parse(&r.body).unwrap().get("error").is_some(), "{q}");
+        }
+        let r = client::http_post(&format!("{base}/eval"), "{{{{").unwrap();
+        assert_eq!(r.status, 400);
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache_and_bodies_stay_bitwise_equal() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        let url = format!("{base}/eval?app=lbmhd&platform=es&procs=64");
+        let first = client::http_get(&url).unwrap();
+        let hits_after_first = s.state.cache.hits();
+        let second = client::http_get(&url).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body, "cached response must be bitwise equal");
+        assert!(s.state.cache.hits() > hits_after_first, "second request must hit");
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn metrics_reports_cache_queue_and_latency() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        let _ = client::http_get(&format!("{base}/eval?app=paratec&platform=sx8&procs=128"));
+        let m = client::http_get(&format!("{base}/metrics")).unwrap();
+        assert_eq!(m.status, 200);
+        let doc = Json::parse(&m.body).unwrap();
+        assert!(doc.get("cache").and_then(|c| c.get("misses")).is_some());
+        assert!(doc.get("queue").and_then(|q| q.get("capacity")).is_some());
+        assert!(doc.get("latency").and_then(|l| l.get("eval")).is_some());
+        assert!(doc.get("meters").is_some());
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let s = test_server();
+        let base = format!("http://{}", s.addr());
+        let r = client::http_post(&format!("{base}/shutdown"), "").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(s.stopping());
+        s.join();
+    }
+}

@@ -1,0 +1,85 @@
+//! Latency/throughput summary rendering for the serve benchmark.
+//!
+//! The load generator measures closed-loop request latencies; this
+//! module turns per-endpoint summaries into the same fixed-width table
+//! style the paper reproductions use.
+
+use crate::table::Table;
+
+/// One measured endpoint (or endpoint class) summary.
+#[derive(Clone, Debug)]
+pub struct LatencySummary {
+    /// Label (endpoint path or workload class).
+    pub label: String,
+    /// Completed requests.
+    pub requests: u64,
+    /// Error responses (status ≥ 400) among them.
+    pub errors: u64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 10_000 {
+        format!("{:.1} ms", us as f64 / 1000.0)
+    } else {
+        format!("{us} us")
+    }
+}
+
+/// Renders per-endpoint latency summaries plus an overall throughput
+/// line, in the suite's table style.
+pub fn latency_table(title: &str, rows: &[LatencySummary], throughput_rps: f64) -> Table {
+    let mut t = Table::new(
+        format!("{title} ({throughput_rps:.0} req/s overall)"),
+        &["endpoint", "requests", "errors", "p50", "p95", "p99"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.label.clone(),
+            r.requests.to_string(),
+            r.errors.to_string(),
+            fmt_us(r.p50_us),
+            fmt_us(r.p95_us),
+            fmt_us(r.p99_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_columns() {
+        let rows = vec![
+            LatencySummary {
+                label: "/eval".into(),
+                requests: 1000,
+                errors: 0,
+                p50_us: 180,
+                p95_us: 950,
+                p99_us: 12_000,
+            },
+            LatencySummary {
+                label: "/sweep".into(),
+                requests: 10,
+                errors: 1,
+                p50_us: 20_000,
+                p95_us: 45_000,
+                p99_us: 45_000,
+            },
+        ];
+        let out = latency_table("serve load test", &rows, 512.4).render();
+        assert!(out.contains("512 req/s"), "{out}");
+        assert!(out.contains("/eval"));
+        assert!(out.contains("180 us"));
+        assert!(out.contains("12.0 ms"));
+        assert!(out.contains("45.0 ms"));
+    }
+}

@@ -4,7 +4,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline --workspace
+cargo build --release --offline --workspace --examples
 cargo test -q --offline --workspace
 cargo fmt --check
 
@@ -16,5 +16,23 @@ HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- harness 1
 # must be thread-invariant, so the PROFILE_*.json artifacts this writes
 # are identical to a serial run's.
 HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- profile
+
+# Smoke the serve subsystem end to end: ephemeral port, short closed-loop
+# load, zero error responses required, then a graceful stop (drains
+# in-flight requests before the process exits).
+HEC_THREADS=2 ./target/release/repro serve > serve_ci.log 2>&1 &
+SERVE_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    SERVE_URL=$(sed -n 's/^listening on /http:\/\//p' serve_ci.log)
+    [ -n "$SERVE_URL" ] && break
+    sleep 1
+done
+[ -n "$SERVE_URL" ] || { echo "ci: serve did not come up"; cat serve_ci.log; exit 1; }
+HEC_THREADS=2 ./target/release/repro loadgen "$SERVE_URL" 2 4
+grep -q '"errors": 0,' BENCH_serve.json || { echo "ci: loadgen saw error responses"; exit 1; }
+./target/release/repro stop "$SERVE_URL"
+wait "$SERVE_PID"
+grep -q "drained and stopped" serve_ci.log || { echo "ci: serve did not stop gracefully"; exit 1; }
+rm -f serve_ci.log
 
 echo "ci: ok"

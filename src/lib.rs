@@ -8,6 +8,7 @@
 //! * substrates: [`msim`] (simulated MPI), [`kernels`] (FFT/BLAS/solvers),
 //!   [`hec_net`] + [`hec_arch`] (interconnect and processor models),
 //!   [`hec_core`] (std-only RNG/JSON/sync/thread-pool support);
+//! * service: [`hec_serve`] (prediction-as-a-service over HTTP/1.1);
 //! * reporting: [`report`].
 //!
 //! Start with `examples/quickstart.rs`, or regenerate the paper with
@@ -18,6 +19,7 @@ pub use gtc;
 pub use hec_arch;
 pub use hec_core;
 pub use hec_net;
+pub use hec_serve;
 pub use kernels;
 pub use lbmhd;
 pub use msim;
