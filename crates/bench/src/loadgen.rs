@@ -1,13 +1,24 @@
-//! `repro loadgen` — closed-loop load generator for the serve subsystem.
+//! `repro loadgen` — closed-loop load generator for the serve/cluster
+//! subsystems.
 //!
 //! Spawns N client threads, each issuing one request at a time
 //! (closed-loop: think time zero, concurrency = N) round-robin over a
 //! repeated-request workload: single points for all four apps across
 //! several platforms, plus a sweep per app. Because the workload
-//! repeats, a correctly caching server converges to a high hit rate —
-//! the emitted `BENCH_serve.json` records it alongside throughput and
-//! exact (not bucketed) latency quantiles, so the serve path joins the
-//! benchmark trajectory next to `BENCH_kernels.json`/`BENCH_apps.json`.
+//! repeats, a correctly caching server converges to a high hit rate.
+//!
+//! Clients use the retrying GET ([`client::get_with_retry`]): a `503 +
+//! Retry-After` or a transport blip is retried with seeded backoff, and
+//! a request that needed a retry but ultimately succeeded is counted as
+//! `retried_ok` — *not* as an error. Only requests that stay failed
+//! after the budget count against the run.
+//!
+//! The target's `/metrics` document decides the output shape: a
+//! document with a `cluster` section means the target is a
+//! `hec-cluster` router, and the run emits `BENCH_cluster.json`
+//! (throughput, exact latency quantiles, failovers, availability);
+//! otherwise it emits `BENCH_serve.json` with the cache breakdown, as
+//! before.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -15,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use hec_core::json::Json;
 use hec_serve::client;
-use report::latency::{latency_table, LatencySummary};
+use report::latency::{cluster_table, latency_table, ClusterSummary, LatencySummary};
 
 /// Default load duration, seconds.
 pub const DEFAULT_SECS: u64 = 5;
@@ -47,24 +58,44 @@ fn workload(base: &str) -> Vec<(Class, String)> {
     urls
 }
 
+/// One completed request.
+#[derive(Clone, Copy)]
+struct Sample {
+    class: Class,
+    latency_us: u64,
+    ok: bool,
+    /// Succeeded only after at least one retry.
+    retried_ok: bool,
+}
+
 struct ClientStats {
-    /// (class, latency_us, ok) per completed request.
-    samples: Vec<(Class, u64, bool)>,
+    samples: Vec<Sample>,
+    /// Requests that exhausted the retry budget on transport errors.
     transport_errors: u64,
 }
 
 fn drive(base: String, stop: Arc<AtomicBool>, offset: usize) -> ClientStats {
     let urls = workload(&base);
+    let policy = client::RetryPolicy::default();
     let mut stats = ClientStats { samples: Vec::new(), transport_errors: 0 };
     let mut i = offset;
     while !stop.load(Ordering::Relaxed) {
         let (class, url) = &urls[i % urls.len()];
+        // Per-request jitter seed: distinct per client and per request,
+        // deterministic for a given (client, index) pair.
+        let seed = ((offset as u64) << 32) ^ i as u64;
         i += 1;
         let t0 = Instant::now();
-        match client::http_get(url) {
-            Ok(resp) => {
+        match client::get_with_retry(url, &policy, seed) {
+            Ok(out) => {
                 let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                stats.samples.push((*class, us, resp.status == 200));
+                let ok = out.response.status == 200;
+                stats.samples.push(Sample {
+                    class: *class,
+                    latency_us: us,
+                    ok,
+                    retried_ok: ok && out.retried_ok,
+                });
             }
             Err(_) => stats.transport_errors += 1,
         }
@@ -80,17 +111,26 @@ fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     sorted_us[rank - 1]
 }
 
-fn cache_counters(metrics_url: &str) -> Option<(u64, u64)> {
-    let doc = Json::parse(&client::http_get(metrics_url).ok()?.body).ok()?;
-    let cache = doc.get("cache")?;
-    Some((cache.get("hits")?.as_f64()? as u64, cache.get("misses")?.as_f64()? as u64))
+fn metrics_doc(metrics_url: &str) -> Option<Json> {
+    Json::parse(&client::http_get(metrics_url).ok()?.body).ok()
 }
 
-fn summarize(class: Class, label: &str, samples: &[(Class, u64, bool)]) -> LatencySummary {
+fn counter(doc: &Json, path: &[&str]) -> u64 {
+    let mut node = doc;
+    for key in path {
+        match node.get(key) {
+            Some(next) => node = next,
+            None => return 0,
+        }
+    }
+    node.as_f64().unwrap_or(0.0) as u64
+}
+
+fn summarize(class: Class, label: &str, samples: &[Sample]) -> LatencySummary {
     let mut lat: Vec<u64> =
-        samples.iter().filter(|(c, _, _)| *c == class).map(|&(_, us, _)| us).collect();
+        samples.iter().filter(|s| s.class == class).map(|s| s.latency_us).collect();
     lat.sort_unstable();
-    let errors = samples.iter().filter(|(c, _, ok)| *c == class && !ok).count() as u64;
+    let errors = samples.iter().filter(|s| s.class == class && !s.ok).count() as u64;
     LatencySummary {
         label: label.to_string(),
         requests: lat.len() as u64,
@@ -101,18 +141,22 @@ fn summarize(class: Class, label: &str, samples: &[(Class, u64, bool)]) -> Laten
     }
 }
 
-/// Runs the load test against `url` (e.g. `http://127.0.0.1:8471`) and
-/// writes `BENCH_serve.json`. Returns the number of error responses
-/// (HTTP or transport) so the CLI can exit nonzero on a failing run.
+/// Runs the load test against `url` (a `hec-serve` instance or a
+/// `hec-cluster` router) and writes `BENCH_serve.json` or
+/// `BENCH_cluster.json` accordingly. Returns the number of error
+/// responses (HTTP or transport, after retries) so the CLI can exit
+/// nonzero on a failing run.
 pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
     let base = url.trim_end_matches('/').to_string();
     let metrics_url = format!("{base}/metrics");
-    let before = cache_counters(&metrics_url);
+    let before = metrics_doc(&metrics_url);
     if before.is_none() {
         eprintln!("warning: {metrics_url} unreachable before the run");
     }
+    let is_cluster = before.as_ref().is_some_and(|d| d.get("cluster").is_some());
+    let what = if is_cluster { "cluster" } else { "serve" };
 
-    eprintln!("loadgen: {clients} closed-loop clients against {base} for {secs}s...");
+    eprintln!("loadgen: {clients} closed-loop clients against {base} ({what}) for {secs}s...");
     let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
     let handles: Vec<_> = (0..clients.max(1))
@@ -126,36 +170,34 @@ pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
     let stats: Vec<ClientStats> = handles.into_iter().map(|h| h.join().unwrap()).collect();
     let elapsed = t0.elapsed().as_secs_f64();
 
-    let samples: Vec<(Class, u64, bool)> =
-        stats.iter().flat_map(|s| s.samples.iter().copied()).collect();
+    let samples: Vec<Sample> = stats.iter().flat_map(|s| s.samples.iter().copied()).collect();
     let transport_errors: u64 = stats.iter().map(|s| s.transport_errors).sum();
-    let http_errors = samples.iter().filter(|(_, _, ok)| !ok).count() as u64;
+    let http_errors = samples.iter().filter(|s| !s.ok).count() as u64;
     let errors = transport_errors + http_errors;
+    let retried_ok = samples.iter().filter(|s| s.retried_ok).count() as u64;
     let requests = samples.len() as u64;
+    let attempted = requests + transport_errors;
+    let availability =
+        if attempted > 0 { (requests - http_errors) as f64 / attempted as f64 } else { 0.0 };
     let throughput = requests as f64 / elapsed;
 
-    let mut all: Vec<u64> = samples.iter().map(|&(_, us, _)| us).collect();
+    let mut all: Vec<u64> = samples.iter().map(|s| s.latency_us).collect();
     all.sort_unstable();
     let mean_us =
         if all.is_empty() { 0.0 } else { all.iter().sum::<u64>() as f64 / all.len() as f64 };
 
-    let after = cache_counters(&metrics_url);
-    let (hits, misses) = match (before, after) {
-        (Some((h0, m0)), Some((h1, m1))) => (h1.saturating_sub(h0), m1.saturating_sub(m0)),
-        _ => (0, 0),
+    let after = metrics_doc(&metrics_url);
+    let delta = |path: &[&str]| match (&before, &after) {
+        (Some(b), Some(a)) => counter(a, path).saturating_sub(counter(b, path)),
+        _ => 0,
     };
-    let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
 
     let eval_sum = summarize(Class::Eval, "/eval", &samples);
     let sweep_sum = summarize(Class::Sweep, "/sweep", &samples);
+    let title = format!("{what} load test");
     print!(
         "{}",
-        latency_table("serve load test", &[eval_sum.clone(), sweep_sum.clone()], throughput)
-            .render()
-    );
-    eprintln!(
-        "cache: {hits} hits / {misses} misses ({:.0}% hit rate); {errors} errors",
-        hit_rate * 100.0
+        latency_table(&title, &[eval_sum.clone(), sweep_sum.clone()], throughput).render()
     );
 
     let class_doc = |s: &LatencySummary| {
@@ -167,14 +209,15 @@ pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
             ("p99_us", Json::Num(s.p99_us as f64)),
         ])
     };
-    let doc = Json::obj([
-        ("bench", Json::Str("serve".to_string())),
+    let mut fields = vec![
+        ("bench", Json::Str(what.to_string())),
         ("url", Json::Str(base.clone())),
         ("secs", Json::Num(secs as f64)),
         ("clients", Json::Num(clients as f64)),
         ("requests", Json::Num(requests as f64)),
         ("errors", Json::Num(errors as f64)),
         ("transport_errors", Json::Num(transport_errors as f64)),
+        ("retried_ok", Json::Num(retried_ok as f64)),
         ("throughput_rps", Json::Num(throughput)),
         (
             "latency_us",
@@ -187,18 +230,76 @@ pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
             ]),
         ),
         ("by_class", Json::obj([("eval", class_doc(&eval_sum)), ("sweep", class_doc(&sweep_sum))])),
-        (
+    ];
+
+    if is_cluster {
+        let failovers = delta(&["failovers"]);
+        let hedges = delta(&["hedges"]);
+        let summary = ClusterSummary {
+            replicas: after
+                .as_ref()
+                .map(|d| {
+                    d.get("cluster")
+                        .and_then(|c| c.get("replicas"))
+                        .and_then(|r| match r {
+                            Json::Arr(v) => Some(v.len() as u64),
+                            _ => None,
+                        })
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0),
+            up: after.as_ref().map(|d| counter(d, &["cluster", "up"])).unwrap_or(0),
+            failovers,
+            retried_ok,
+            availability,
+        };
+        print!("{}", cluster_table("cluster availability", &summary).render());
+        eprintln!(
+            "cluster: {failovers} failovers, {hedges} hedges, {retried_ok} retried-then-ok; \
+             {errors} errors; availability {:.3}%",
+            availability * 100.0
+        );
+        fields.push((
+            "cluster",
+            Json::obj([
+                ("replicas", Json::Num(summary.replicas as f64)),
+                ("up", Json::Num(summary.up as f64)),
+                ("failovers", Json::Num(failovers as f64)),
+                ("hedges", Json::Num(hedges as f64)),
+                ("router_retries", Json::Num(delta(&["retries"]) as f64)),
+                ("availability", Json::Num(availability)),
+            ]),
+        ));
+    } else {
+        let (hits, misses, evictions) = (
+            delta(&["cache", "hits"]),
+            delta(&["cache", "misses"]),
+            delta(&["cache", "evictions"]),
+        );
+        let hit_rate = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+        eprintln!(
+            "cache: {hits} hits / {misses} misses ({:.0}% hit rate); \
+             {retried_ok} retried-then-ok; {errors} errors",
+            hit_rate * 100.0
+        );
+        fields.push((
             "cache",
             Json::obj([
                 ("hits", Json::Num(hits as f64)),
                 ("misses", Json::Num(misses as f64)),
+                ("evictions", Json::Num(evictions as f64)),
                 ("hit_rate", Json::Num(hit_rate)),
             ]),
-        ),
-    ]);
-    match std::fs::write("BENCH_serve.json", doc.emit_pretty()) {
-        Ok(()) => eprintln!("wrote BENCH_serve.json"),
-        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+        ));
+    }
+
+    let out_name = format!("BENCH_{what}.json");
+    match std::fs::write(
+        &out_name,
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).emit_pretty(),
+    ) {
+        Ok(()) => eprintln!("wrote {out_name}"),
+        Err(e) => eprintln!("could not write {out_name}: {e}"),
     }
     errors
 }
@@ -227,5 +328,16 @@ mod tests {
         }
         // The mix must repeat points (cache-friendliness is the point).
         assert!(urls.len() < 64);
+    }
+
+    #[test]
+    fn counters_walk_nested_metrics_documents() {
+        let doc = Json::parse(r#"{"failovers": 3, "cluster": {"up": 2}, "cache": {"hits": 10}}"#)
+            .unwrap();
+        assert_eq!(counter(&doc, &["failovers"]), 3);
+        assert_eq!(counter(&doc, &["cluster", "up"]), 2);
+        assert_eq!(counter(&doc, &["cache", "hits"]), 10);
+        assert_eq!(counter(&doc, &["cache", "nope"]), 0);
+        assert_eq!(counter(&doc, &["missing"]), 0);
     }
 }

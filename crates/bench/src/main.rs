@@ -145,15 +145,27 @@ const COMMANDS: &[Cmd] = &[
         run: |args| serve(args),
     },
     Cmd {
+        name: "cluster",
+        args: "<replicas> [port]",
+        help: "sharded serving cluster: router + N replicas (HEC_CLUSTER_* tune it)",
+        run: |args| cluster(args),
+    },
+    Cmd {
         name: "loadgen",
         args: "<url> [secs] [clients]",
-        help: "closed-loop load test against a serve instance; writes BENCH_serve.json",
+        help: "closed-loop load test; writes BENCH_serve.json (or BENCH_cluster.json for a router)",
         run: |args| loadgen(args),
+    },
+    Cmd {
+        name: "kill",
+        args: "<url> <replica>",
+        help: "kill one replica through a router's /admin/kill endpoint",
+        run: |args| kill(args),
     },
     Cmd {
         name: "stop",
         args: "<url>",
-        help: "gracefully stop a serve instance (drains in-flight requests)",
+        help: "gracefully stop a serve or cluster instance (drains in-flight requests)",
         run: |args| stop(args),
     },
     Cmd {
@@ -205,6 +217,50 @@ fn serve(args: &[String]) {
     println!("workers={} queue={} cache={}", cfg.workers, cfg.queue, cfg.cache_capacity);
     server.join();
     println!("serve: drained and stopped");
+}
+
+fn cluster(args: &[String]) {
+    let replicas: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(3);
+    let port: u16 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let cfg = hec_cluster::ClusterConfig::from_env(replicas, port);
+    let (replication, vnodes) = (cfg.replication, cfg.vnodes);
+    let cluster = match hec_cluster::start(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not start the cluster on 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Same log line the serve smoke parses for the bound port.
+    println!("listening on {}", cluster.addr());
+    for i in 0..cluster.replica_count() {
+        match cluster.replica_addr(i) {
+            Some(addr) => println!("replica {i} on {addr}"),
+            None => println!("replica {i} down"),
+        }
+    }
+    println!("replicas={} replication={replication} vnodes={vnodes}", cluster.replica_count());
+    cluster.join();
+    println!("cluster: drained and stopped");
+}
+
+fn kill(args: &[String]) {
+    let (Some(url), Some(replica)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: repro kill <url> <replica>");
+        std::process::exit(2);
+    };
+    let url = format!("{}/admin/kill?replica={replica}", url.trim_end_matches('/'));
+    match hec_serve::client::http_post(&url, "") {
+        Ok(r) if r.status == 200 => println!("killed replica {replica}"),
+        Ok(r) => {
+            eprintln!("unexpected status {} from {url}: {}", r.status, r.body.trim());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("could not reach {url}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn loadgen(args: &[String]) {

@@ -1,0 +1,163 @@
+//! Replica health: probed state, transition counters, and the checker.
+//!
+//! Each replica has one bit of probed state (up/down) plus transition
+//! counters, updated from two directions: a background checker thread
+//! probes every replica's `/metrics` endpoint with a timeout on a fixed
+//! interval, and the router marks replicas down *reactively* the moment
+//! a forward fails (waiting a full probe interval to notice a dead
+//! primary would turn every failover into a timeout). Both paths go
+//! through [`Health::mark`], which counts each up↔down transition —
+//! the cluster `/metrics` document exposes those counts, and the e2e
+//! suite asserts the down-then-up sequence around a kill/restart.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hec_serve::client;
+
+use crate::replica::ReplicaSet;
+
+/// Health-checker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Delay between probe sweeps.
+    pub interval: Duration,
+    /// Per-probe connect/read timeout.
+    pub probe_timeout: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            interval: Duration::from_millis(100),
+            probe_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+struct ReplicaHealth {
+    up: AtomicBool,
+    down_transitions: AtomicU64,
+    up_transitions: AtomicU64,
+}
+
+/// Up/down state and transition counts for every replica.
+pub struct Health {
+    replicas: Vec<ReplicaHealth>,
+}
+
+impl Health {
+    /// All replicas start marked up (they were just started).
+    pub fn new(n: usize) -> Health {
+        Health {
+            replicas: (0..n)
+                .map(|_| ReplicaHealth {
+                    up: AtomicBool::new(true),
+                    down_transitions: AtomicU64::new(0),
+                    up_transitions: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// True when replica `i` is currently believed up.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.replicas.get(i).map(|r| r.up.load(Ordering::SeqCst)).unwrap_or(false)
+    }
+
+    /// Records an observation of replica `i`; counts the transition when
+    /// the state actually changed. Returns true on a state change.
+    pub fn mark(&self, i: usize, up: bool) -> bool {
+        let Some(r) = self.replicas.get(i) else { return false };
+        let changed = r.up.swap(up, Ordering::SeqCst) != up;
+        if changed {
+            if up {
+                r.up_transitions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                r.down_transitions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        changed
+    }
+
+    /// Up→down transitions observed for replica `i`.
+    pub fn down_transitions(&self, i: usize) -> u64 {
+        self.replicas.get(i).map(|r| r.down_transitions.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Down→up transitions observed for replica `i`.
+    pub fn up_transitions(&self, i: usize) -> u64 {
+        self.replicas.get(i).map(|r| r.up_transitions.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Number of replicas currently up.
+    pub fn up_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.up.load(Ordering::SeqCst)).count()
+    }
+}
+
+/// Probes one replica: a `/metrics` GET within the timeout counts as up.
+/// A down slot (no address) is down without a network round trip.
+pub fn probe(replicas: &ReplicaSet, i: usize, timeout: Duration) -> bool {
+    match replicas.addr(i) {
+        None => false,
+        Some(addr) => client::http_get_timeout(&format!("http://{addr}/metrics"), timeout)
+            .map(|r| r.status == 200)
+            .unwrap_or(false),
+    }
+}
+
+/// Spawns the background checker: sweeps every replica each `interval`
+/// until `stop` is set, feeding observations through [`Health::mark`].
+pub fn spawn_checker(
+    replicas: Arc<ReplicaSet>,
+    health: Arc<Health>,
+    stop: Arc<AtomicBool>,
+    cfg: HealthConfig,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::SeqCst) {
+            for i in 0..replicas.len() {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                health.mark(i, probe(&replicas, i, cfg.probe_timeout));
+            }
+            std::thread::sleep(cfg.interval);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_serve::server::ServeConfig;
+
+    #[test]
+    fn transitions_count_only_state_changes() {
+        let h = Health::new(2);
+        assert!(h.is_up(0));
+        assert!(!h.mark(0, true), "up→up is not a transition");
+        assert!(h.mark(0, false));
+        assert!(!h.mark(0, false));
+        assert!(h.mark(0, true));
+        assert_eq!(h.down_transitions(0), 1);
+        assert_eq!(h.up_transitions(0), 1);
+        assert_eq!(h.down_transitions(1), 0);
+        assert_eq!(h.up_count(), 2);
+    }
+
+    #[test]
+    fn probe_tracks_replica_liveness() {
+        let set =
+            ReplicaSet::start(1, ServeConfig { port: 0, workers: 1, queue: 8, cache_capacity: 64 })
+                .unwrap();
+        let timeout = Duration::from_millis(500);
+        assert!(probe(&set, 0, timeout));
+        set.kill(0);
+        assert!(!probe(&set, 0, timeout));
+        assert!(!probe(&set, 7, timeout), "out-of-range replica is down");
+        set.shutdown_all();
+    }
+}

@@ -1,0 +1,39 @@
+//! `hec-cluster` — sharded, replicated, fault-tolerant serving.
+//!
+//! One frontend URL over N independent [`hec_serve`] replicas. The
+//! canonical request keyspace is partitioned by a consistent-hash ring
+//! ([`ring`]: virtual nodes, replication factor R), the router
+//! ([`router`]) forwards each request to its key's first live owner and
+//! fails over to the next on transport failure or load shedding, health
+//! is tracked by a probing checker plus reactive marking ([`health`]),
+//! and a deterministic fault plan ([`faults`]) can kill, stall,
+//! drop-connect, or slow replicas at fixed admitted-request indices.
+//!
+//! The contract under faults (DESIGN.md §9): with R owners per key and
+//! at most R − 1 of them killed, every admitted request returns a
+//! response *byte-identical* to the single-process engine's — the
+//! replicas all run the same bitwise-deterministic model, so which
+//! owner answers is invisible in the bytes.
+//!
+//! ```no_run
+//! let cluster = hec_cluster::start(hec_cluster::ClusterConfig {
+//!     replicas: 3,
+//!     ..hec_cluster::ClusterConfig::default()
+//! })
+//! .unwrap();
+//! println!("routing on http://{}", cluster.addr());
+//! cluster.shutdown();
+//! cluster.join();
+//! ```
+
+pub mod faults;
+pub mod health;
+pub mod replica;
+pub mod ring;
+pub mod router;
+
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
+pub use health::{Health, HealthConfig};
+pub use replica::ReplicaSet;
+pub use ring::{stable_hash, Ring, DEFAULT_VNODES};
+pub use router::{start, Cluster, ClusterConfig, DEFAULT_REPLICATION};

@@ -1,0 +1,152 @@
+//! The replica set: N independent in-process `hec-serve` instances.
+//!
+//! Each replica is a full [`hec_serve::server::Server`] — its own
+//! listener on an ephemeral 127.0.0.1 port, worker pool, cache, and
+//! batcher — so replicas fail independently: killing one closes its
+//! socket and drains its workers without touching the others, exactly
+//! the failure granularity the fault plan needs. A restarted replica
+//! comes back on a *new* port (the old one cannot be reliably rebound
+//! immediately); the router always looks addresses up through
+//! [`ReplicaSet::addr`], so the ring never stores a stale port.
+
+use std::net::SocketAddr;
+
+use hec_core::sync::Mutex;
+use hec_serve::server::{self, ServeConfig, Server};
+
+struct Slot {
+    server: Option<Server>,
+    /// Last bound address; retained while down for diagnostics.
+    addr: SocketAddr,
+}
+
+/// N in-process `hec-serve` replicas, individually killable/restartable.
+pub struct ReplicaSet {
+    slots: Vec<Mutex<Slot>>,
+    template: ServeConfig,
+}
+
+impl ReplicaSet {
+    /// Starts `n` replicas from `template` (the port field is ignored —
+    /// every replica binds an ephemeral port).
+    pub fn start(n: usize, template: ServeConfig) -> std::io::Result<ReplicaSet> {
+        let mut slots = Vec::with_capacity(n.max(1));
+        for _ in 0..n.max(1) {
+            let server = server::start(ServeConfig { port: 0, ..template.clone() })?;
+            let addr = server.addr();
+            slots.push(Mutex::new(Slot { server: Some(server), addr }));
+        }
+        Ok(ReplicaSet { slots, template })
+    }
+
+    /// Number of replica slots (up or down).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the set has no slots (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The replica's current address, or `None` when it is down or the
+    /// index is out of range.
+    pub fn addr(&self, i: usize) -> Option<SocketAddr> {
+        let slot = self.slots.get(i)?.lock();
+        slot.server.as_ref().map(|s| s.addr())
+    }
+
+    /// The replica's last known address regardless of state (diagnostics).
+    pub fn last_addr(&self, i: usize) -> Option<SocketAddr> {
+        Some(self.slots.get(i)?.lock().addr)
+    }
+
+    /// True when the replica is currently running.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.slots.get(i).map(|s| s.lock().server.is_some()).unwrap_or(false)
+    }
+
+    /// Shuts replica `i` down (graceful: drains in-flight requests).
+    /// Returns true when it was up. Idempotent.
+    pub fn kill(&self, i: usize) -> bool {
+        let Some(slot) = self.slots.get(i) else { return false };
+        let server = slot.lock().server.take();
+        match server {
+            Some(s) => {
+                s.shutdown();
+                s.join();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Restarts replica `i` on a fresh ephemeral port. Returns the new
+    /// address; an already-running replica is left alone.
+    pub fn restart(&self, i: usize) -> std::io::Result<SocketAddr> {
+        let slot = self.slots.get(i).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("no replica {i}"))
+        })?;
+        let mut g = slot.lock();
+        if let Some(s) = g.server.as_ref() {
+            return Ok(s.addr());
+        }
+        let server = server::start(ServeConfig { port: 0, ..self.template.clone() })?;
+        let addr = server.addr();
+        g.server = Some(server);
+        g.addr = addr;
+        Ok(addr)
+    }
+
+    /// Shuts every running replica down.
+    pub fn shutdown_all(&self) {
+        for i in 0..self.slots.len() {
+            let _ = self.kill(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_serve::client;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig { port: 0, workers: 2, queue: 16, cache_capacity: 128 }
+    }
+
+    #[test]
+    fn replicas_start_on_distinct_ports_and_serve() {
+        let set = ReplicaSet::start(3, small_cfg()).unwrap();
+        assert_eq!(set.len(), 3);
+        let mut ports = Vec::new();
+        for i in 0..3 {
+            let addr = set.addr(i).expect("up");
+            ports.push(addr.port());
+            let r = client::http_get(&format!("http://{addr}/healthz")).unwrap();
+            assert_eq!(r.status, 200);
+        }
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 3, "each replica gets its own port");
+        set.shutdown_all();
+    }
+
+    #[test]
+    fn kill_is_isolated_and_restart_revives() {
+        let set = ReplicaSet::start(2, small_cfg()).unwrap();
+        let dead_addr = set.addr(0).unwrap();
+        assert!(set.kill(0));
+        assert!(!set.kill(0), "second kill is a no-op");
+        assert!(!set.is_up(0));
+        assert!(set.is_up(1), "killing 0 must not touch 1");
+        assert!(client::http_get(&format!("http://{dead_addr}/healthz")).is_err());
+        let other = set.addr(1).unwrap();
+        assert_eq!(client::http_get(&format!("http://{other}/healthz")).unwrap().status, 200);
+
+        let revived = set.restart(0).unwrap();
+        assert!(set.is_up(0));
+        assert_eq!(client::http_get(&format!("http://{revived}/healthz")).unwrap().status, 200);
+        set.shutdown_all();
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`probe`] — phase-scoped event counters and wall-clock spans: the
 //!   capture layer the kernels and apps report measured workload
 //!   characteristics through (deterministic `u64` event sums, free when
-//!   disabled).
+//!   disabled);
+//! * [`retry`] — seeded exponential backoff with jitter, so the serve
+//!   client and the cluster router retry transient failures on a delay
+//!   sequence tests can replay exactly.
 //!
 //! Everything is deliberately small: the suite needs determinism and
 //! hermeticity, not feature breadth.
@@ -24,6 +27,7 @@
 pub mod json;
 pub mod pool;
 pub mod probe;
+pub mod retry;
 pub mod rng;
 pub mod sync;
 

@@ -11,6 +11,10 @@
 //! each behind its own mutex, so concurrent workers rarely contend.
 //! Each shard is a classic slab + doubly-linked list: O(1) hit
 //! promotion, O(1) insert, O(1) tail eviction, bounded memory.
+//! Hit/miss/eviction accounting is kept per shard (surfaced through
+//! `/metrics`), so key skew — one shard hammered while others idle,
+//! exactly what a cluster router's ring assignment can produce — is
+//! observable rather than hidden in the aggregate.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -84,19 +88,22 @@ impl Shard {
         Some(self.slab[idx].val)
     }
 
-    fn put(&mut self, key: String, val: Option<Cell>) {
+    /// Inserts `key`; returns true when an existing entry was evicted.
+    fn put(&mut self, key: String, val: Option<Cell>) -> bool {
         if let Some(&idx) = self.map.get(&key) {
             self.slab[idx].val = val;
             self.unlink(idx);
             self.push_front(idx);
-            return;
+            return false;
         }
+        let mut evicted = false;
         if self.map.len() >= self.capacity {
             let victim = self.tail;
             self.unlink(victim);
             let old_key = std::mem::take(&mut self.slab[victim].key);
             self.map.remove(&old_key);
             self.free.push(victim);
+            evicted = true;
         }
         let idx = match self.free.pop() {
             Some(i) => {
@@ -110,14 +117,34 @@ impl Shard {
         };
         self.map.insert(key, idx);
         self.push_front(idx);
+        evicted
     }
 }
 
-/// The sharded LRU cache with hit/miss accounting.
-pub struct ShardedLru {
-    shards: Vec<Mutex<Shard>>,
+/// One LRU shard plus its own counters (lock-free reads for metrics).
+struct ShardCell {
+    inner: Mutex<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of one shard's counters, for `/metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Cumulative hits on this shard.
+    pub hits: u64,
+    /// Cumulative misses on this shard.
+    pub misses: u64,
+    /// Cumulative LRU evictions from this shard.
+    pub evictions: u64,
+    /// Entries currently resident in this shard.
+    pub entries: usize,
+}
+
+/// The sharded LRU cache with per-shard hit/miss/eviction accounting.
+pub struct ShardedLru {
+    shards: Vec<ShardCell>,
 }
 
 impl ShardedLru {
@@ -126,13 +153,18 @@ impl ShardedLru {
     pub fn new(capacity: usize) -> ShardedLru {
         let per_shard = capacity.div_ceil(SHARDS).max(1);
         ShardedLru {
-            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| ShardCell {
+                    inner: Mutex::new(Shard::new(per_shard)),
+                    hits: AtomicU64::new(0),
+                    misses: AtomicU64::new(0),
+                    evictions: AtomicU64::new(0),
+                })
+                .collect(),
         }
     }
 
-    fn shard(&self, key: &str) -> &Mutex<Shard> {
+    fn shard(&self, key: &str) -> &ShardCell {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -142,10 +174,11 @@ impl ShardedLru {
     /// The outer `Option` is hit/miss; the inner is the cached verdict
     /// (a feasible cell or a cached "infeasible").
     pub fn get(&self, key: &str) -> Option<Option<Cell>> {
-        let out = self.shard(key).lock().get(key);
+        let cell = self.shard(key);
+        let out = cell.inner.lock().get(key);
         match out {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => cell.hits.fetch_add(1, Ordering::Relaxed),
+            None => cell.misses.fetch_add(1, Ordering::Relaxed),
         };
         out
     }
@@ -153,27 +186,49 @@ impl ShardedLru {
     /// Inserts (or refreshes) `key`, evicting the least-recently-used
     /// entry of its shard when full.
     pub fn put(&self, key: String, val: Option<Cell>) {
-        self.shard(&key).lock().put(key, val);
+        let cell = self.shard(&key);
+        if cell.inner.lock().put(key, val) {
+            cell.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Cumulative hits.
+    /// Cumulative hits, across all shards.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
     }
 
-    /// Cumulative misses.
+    /// Cumulative misses, across all shards.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Cumulative LRU evictions, across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.evictions.load(Ordering::Relaxed)).sum()
     }
 
     /// Entries currently cached, across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Per-shard counter snapshot, in shard-index order. The `/metrics`
+    /// endpoint serves this so router-level key skew is observable.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                entries: s.inner.lock().map.len(),
+            })
+            .collect()
     }
 }
 
@@ -217,6 +272,7 @@ mod tests {
         c.put(collide.clone(), cell(2.0));
         assert_eq!(c.get("x"), None, "LRU entry must be evicted on overflow");
         assert_eq!(c.get(&collide).unwrap().unwrap().gflops, 2.0);
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]
@@ -249,6 +305,7 @@ mod tests {
         c.put("k".into(), cell(9.0));
         assert_eq!(c.get("k").unwrap().unwrap().gflops, 9.0);
         assert_eq!(c.len(), 1);
+        assert_eq!(c.evictions(), 0, "in-place refresh is not an eviction");
     }
 
     #[test]
@@ -259,8 +316,29 @@ mod tests {
         }
         assert!(c.len() <= SHARDS * 2 + SHARDS, "len {} exceeds bound", c.len());
         for s in &c.shards {
-            let g = s.lock();
+            let g = s.inner.lock();
             assert!(g.slab.len() <= g.capacity + 1, "slab grew unboundedly");
         }
+        // Nearly every insert past capacity evicted something.
+        assert!(c.evictions() > 9_000, "evictions {} too low", c.evictions());
+    }
+
+    #[test]
+    fn shard_stats_sum_to_the_aggregates() {
+        let c = ShardedLru::new(64);
+        for i in 0..100 {
+            c.put(format!("k{i}"), cell(i as f64));
+        }
+        for i in 0..100 {
+            let _ = c.get(&format!("k{i}"));
+            let _ = c.get(&format!("absent{i}"));
+        }
+        let stats = c.shard_stats();
+        assert_eq!(stats.len(), SHARDS);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), c.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), c.misses());
+        assert_eq!(stats.iter().map(|s| s.evictions).sum::<u64>(), c.evictions());
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), c.len());
+        assert!(stats.iter().filter(|s| s.hits > 0).count() > 1, "hits spread over shards");
     }
 }

@@ -20,8 +20,9 @@
 //! * [`server`] — the listener: bounded worker pool with admission queue
 //!   (queue-full ⇒ 503 + `Retry-After`), `/metrics`, graceful shutdown
 //!   that drains in-flight requests.
-//! * [`client`] — the minimal HTTP/1.1 client the load generator and the
-//!   e2e tests use.
+//! * [`client`] — the minimal HTTP/1.1 client the load generator, the
+//!   cluster router, and the e2e tests use, with seeded-backoff retries
+//!   (`Retry-After`-aware) and tail-latency request hedging.
 //! * [`metrics`] — per-endpoint latency histograms and meter export.
 //!
 //! Determinism contract: responses are emitted from ordered JSON objects

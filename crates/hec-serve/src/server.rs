@@ -151,7 +151,25 @@ impl ServeState {
                 Json::obj([
                     ("hits", Json::Num(self.cache.hits() as f64)),
                     ("misses", Json::Num(self.cache.misses() as f64)),
+                    ("evictions", Json::Num(self.cache.evictions() as f64)),
                     ("entries", Json::Num(self.cache.len() as f64)),
+                    (
+                        "shards",
+                        Json::Arr(
+                            self.cache
+                                .shard_stats()
+                                .into_iter()
+                                .map(|s| {
+                                    Json::obj([
+                                        ("hits", Json::Num(s.hits as f64)),
+                                        ("misses", Json::Num(s.misses as f64)),
+                                        ("evictions", Json::Num(s.evictions as f64)),
+                                        ("entries", Json::Num(s.entries as f64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
             (
@@ -254,17 +272,35 @@ pub fn sweep_response_body(app: AppId, eval: impl FnMut(&Point) -> Option<Cell>)
 }
 
 // ---------------------------------------------------------------------
-// HTTP plumbing
+// HTTP plumbing — public: the cluster router (`hec-cluster`) speaks the
+// same one-request-per-connection dialect and reuses these directly.
 // ---------------------------------------------------------------------
 
-struct Request {
-    method: String,
-    path: String,
-    query: String,
-    body: String,
+/// One parsed HTTP request: method, split target, raw body.
+pub struct Request {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target, always starting with `/`.
+    pub path: String,
+    /// Query component (after `?`), possibly empty, undecoded.
+    pub query: String,
+    /// Request body as text (delimited by `Content-Length`).
+    pub body: String,
 }
 
-fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+impl Request {
+    /// The original request target: path plus `?query` when non-empty.
+    pub fn target(&self) -> String {
+        if self.query.is_empty() {
+            self.path.clone()
+        } else {
+            format!("{}?{}", self.path, self.query)
+        }
+    }
+}
+
+/// Reads one request from `stream`, bounded by [`MAX_REQUEST_BYTES`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
     let mut line = String::new();
     reader
@@ -314,7 +350,8 @@ fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
     Ok(Request { method, path, query, body: String::from_utf8_lossy(&body).into_owned() })
 }
 
-fn status_text(code: u16) -> &'static str {
+/// Canonical reason phrase for the status codes this dialect uses.
+pub fn status_text(code: u16) -> &'static str {
     match code {
         200 => "OK",
         400 => "Bad Request",
@@ -325,7 +362,8 @@ fn status_text(code: u16) -> &'static str {
     }
 }
 
-fn write_response(stream: &mut TcpStream, code: u16, extra_headers: &[String], body: &str) {
+/// Writes one `Connection: close` JSON response onto `stream`.
+pub fn write_response(stream: &mut TcpStream, code: u16, extra_headers: &[String], body: &str) {
     let head = format!(
         "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n",
         status_text(code),
@@ -337,7 +375,8 @@ fn write_response(stream: &mut TcpStream, code: u16, extra_headers: &[String], b
     let _ = stream.flush();
 }
 
-fn error_body(msg: &str) -> String {
+/// The standard one-field error document.
+pub fn error_body(msg: &str) -> String {
     Json::obj([("error", Json::Str(msg.to_string()))]).emit_pretty()
 }
 
@@ -595,6 +634,9 @@ mod tests {
         assert_eq!(m.status, 200);
         let doc = Json::parse(&m.body).unwrap();
         assert!(doc.get("cache").and_then(|c| c.get("misses")).is_some());
+        assert!(doc.get("cache").and_then(|c| c.get("evictions")).is_some());
+        let shards = doc.get("cache").and_then(|c| c.get("shards")).and_then(|s| s.as_arr());
+        assert_eq!(shards.map(|s| s.len()), Some(crate::cache::SHARDS));
         assert!(doc.get("queue").and_then(|q| q.get("capacity")).is_some());
         assert!(doc.get("latency").and_then(|l| l.get("eval")).is_some());
         assert!(doc.get("meters").is_some());

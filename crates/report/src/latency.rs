@@ -31,6 +31,38 @@ fn fmt_us(us: u64) -> String {
     }
 }
 
+/// Availability/failover summary of one cluster load test.
+#[derive(Clone, Debug)]
+pub struct ClusterSummary {
+    /// Replica slots behind the router.
+    pub replicas: u64,
+    /// Replicas up when the run ended.
+    pub up: u64,
+    /// Router failovers during the run (owner switched mid-request).
+    pub failovers: u64,
+    /// Client requests that needed a retry but ultimately succeeded.
+    pub retried_ok: u64,
+    /// Successful responses / attempted requests, in `[0, 1]`.
+    pub availability: f64,
+}
+
+/// Renders the cluster availability row that accompanies a cluster
+/// load test's latency table.
+pub fn cluster_table(title: &str, c: &ClusterSummary) -> Table {
+    let mut t = Table::new(
+        title.to_string(),
+        &["replicas", "up", "failovers", "retried ok", "availability"],
+    );
+    t.push_row(vec![
+        c.replicas.to_string(),
+        c.up.to_string(),
+        c.failovers.to_string(),
+        c.retried_ok.to_string(),
+        format!("{:.3}%", c.availability * 100.0),
+    ]);
+    t
+}
+
 /// Renders per-endpoint latency summaries plus an overall throughput
 /// line, in the suite's table style.
 pub fn latency_table(title: &str, rows: &[LatencySummary], throughput_rps: f64) -> Table {
@@ -81,5 +113,17 @@ mod tests {
         assert!(out.contains("180 us"));
         assert!(out.contains("12.0 ms"));
         assert!(out.contains("45.0 ms"));
+    }
+
+    #[test]
+    fn cluster_table_shows_availability_and_failovers() {
+        let out = cluster_table(
+            "cluster availability",
+            &ClusterSummary { replicas: 3, up: 2, failovers: 7, retried_ok: 4, availability: 1.0 },
+        )
+        .render();
+        assert!(out.contains("100.000%"), "{out}");
+        assert!(out.contains('7'));
+        assert!(out.contains("retried ok"));
     }
 }
