@@ -1,0 +1,281 @@
+//! Artifact directory I/O for the reproduction pipeline.
+//!
+//! `repro all` writes every artifact — `TABLE_<app>.json`,
+//! `CANON_eval.json`, `PROFILE_<app>.json`, `BENCH_*.json` — through
+//! one [`Writer`], which stamps each file with the same [`Meta`] block:
+//! git commit, `HEC_THREADS`, platform set, a config hash, and the
+//! harness/load sample parameters. The stamp is what makes a directory
+//! of results comparable later (the Sumatra argument: a number without
+//! its provenance cannot be trusted across commits), and `repro diff`
+//! reads it back to decide whether thresholded performance comparisons
+//! are even meaningful (same host fingerprint, same worker count) or
+//! only the exact-deterministic fields are.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hec_core::json::Json;
+use hec_core::pool::Threads;
+use hec_serve::engine::AppId;
+
+/// Version of the artifact schema; bumped on incompatible layout
+/// changes so `repro diff` refuses to compare across schemas.
+pub const SCHEMA_VERSION: f64 = 1.0;
+
+/// The stable artifact-file tag for an application (`TABLE_<tag>.json`,
+/// `PROFILE_<tag>.json`): each app crate owns its tag so the naming
+/// cannot drift per call site.
+pub fn app_tag(app: AppId) -> &'static str {
+    match app {
+        AppId::Fvcam => fvcam::ARTIFACT_TAG,
+        AppId::Gtc => gtc::ARTIFACT_TAG,
+        AppId::Lbmhd => lbmhd::ARTIFACT_TAG,
+        AppId::Paratec => paratec::ARTIFACT_TAG,
+    }
+}
+
+/// The metadata block stamped into every artifact.
+#[derive(Clone, Debug)]
+pub struct Meta {
+    /// Abbreviated `git rev-parse HEAD`, or `"unknown"` outside a repo.
+    pub git_commit: String,
+    /// Resolved shared-memory worker count (`HEC_THREADS` policy).
+    pub hec_threads: usize,
+    /// Host fingerprint (`os-arch-Ncpu`): thresholded performance
+    /// comparisons are only meaningful between equal fingerprints.
+    pub host: String,
+    /// Platform set the tables cover (paper display labels).
+    pub platforms: Vec<String>,
+    /// Application artifact tags, in the paper's order.
+    pub apps: Vec<String>,
+    /// Hash of the deterministic run configuration (schema version,
+    /// apps, platforms, canonical eval workload) — equal hashes mean
+    /// the exact-deterministic fields are directly comparable.
+    pub config_hash: String,
+    /// Timed samples per harness case.
+    pub samples: usize,
+    /// Load-test duration per target, seconds.
+    pub load_secs: u64,
+    /// Closed-loop load clients.
+    pub clients: usize,
+    /// Cluster replicas behind the router leg.
+    pub replicas: usize,
+    /// Wall-clock creation time (unix seconds; never compared).
+    pub created_unix: f64,
+}
+
+impl Meta {
+    /// Collects the metadata for a run with the given sample parameters.
+    pub fn collect(samples: usize, load_secs: u64, clients: usize, replicas: usize) -> Meta {
+        let platforms: Vec<String> = report::paper::PLATFORMS
+            .iter()
+            .chain(report::paper::FVCAM_PLATFORMS.iter())
+            .filter(|p| **p != "(n/a)") // table-layout hole, not a platform
+            .map(|s| s.to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let apps: Vec<String> = AppId::ALL.iter().map(|&a| app_tag(a).to_string()).collect();
+        let mut config = format!("schema={SCHEMA_VERSION}");
+        for a in &apps {
+            config.push_str(&format!("|app={a}"));
+        }
+        for p in &platforms {
+            config.push_str(&format!("|platform={p}"));
+        }
+        for q in crate::loadgen::eval_queries() {
+            config.push_str(&format!("|eval={q}"));
+        }
+        let config_hash = format!("{:016x}", hec_cluster::stable_hash(config.as_bytes()));
+        Meta {
+            git_commit: git_commit(),
+            hec_threads: Threads::from_env().workers(),
+            host: host_fingerprint(),
+            platforms,
+            apps,
+            config_hash,
+            samples,
+            load_secs,
+            clients,
+            replicas,
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs() as f64)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// The JSON form of the stamp.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema_version", Json::Num(SCHEMA_VERSION)),
+            ("git_commit", Json::Str(self.git_commit.clone())),
+            ("hec_threads", Json::Num(self.hec_threads as f64)),
+            ("host", Json::Str(self.host.clone())),
+            ("platforms", Json::Arr(self.platforms.iter().cloned().map(Json::Str).collect())),
+            ("apps", Json::Arr(self.apps.iter().cloned().map(Json::Str).collect())),
+            ("config_hash", Json::Str(self.config_hash.clone())),
+            ("samples", Json::Num(self.samples as f64)),
+            ("load_secs", Json::Num(self.load_secs as f64)),
+            ("clients", Json::Num(self.clients as f64)),
+            ("replicas", Json::Num(self.replicas as f64)),
+            ("created_unix", Json::Num(self.created_unix)),
+        ])
+    }
+}
+
+/// `git rev-parse --short=12 HEAD`, or `"unknown"` when git (or the
+/// repository) is unavailable — artifacts must still be writable from a
+/// tarball checkout.
+pub fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `os-arch-Ncpu`: the comparability key for thresholded performance
+/// fields. Two directories from different fingerprints still diff their
+/// exact-deterministic fields, but throughput is not compared.
+pub fn host_fingerprint() -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!("{}-{}-{}cpu", std::env::consts::OS, std::env::consts::ARCH, cpus)
+}
+
+/// Writes metadata-stamped artifacts into one directory.
+pub struct Writer {
+    dir: PathBuf,
+    meta: Json,
+}
+
+impl Writer {
+    /// A writer into `dir` (created if absent) stamping `meta`.
+    ///
+    /// # Errors
+    /// Propagates directory-creation failures.
+    pub fn new(dir: impl Into<PathBuf>, meta: &Meta) -> io::Result<Writer> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Writer { dir, meta: meta.to_json() })
+    }
+
+    /// A writer into the current directory (the standalone `repro
+    /// harness` / `profile` / `loadgen` commands keep their historical
+    /// output location but gain the stamp).
+    pub fn cwd(meta: &Meta) -> Writer {
+        Writer { dir: PathBuf::from("."), meta: meta.to_json() }
+    }
+
+    /// The output directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes `{"meta": …, payload…}` to `<dir>/<name>` (pretty JSON)
+    /// and prints the path. Returns the full path.
+    ///
+    /// # Errors
+    /// Propagates the underlying write failure.
+    pub fn write(
+        &self,
+        name: &str,
+        payload: impl IntoIterator<Item = (&'static str, Json)>,
+    ) -> io::Result<PathBuf> {
+        let mut fields = vec![("meta".to_string(), self.meta.clone())];
+        fields.extend(payload.into_iter().map(|(k, v)| (k.to_string(), v)));
+        let path = self.dir.join(name);
+        std::fs::write(&path, Json::Obj(fields).emit_pretty())?;
+        println!("wrote {}", path.display());
+        Ok(path)
+    }
+}
+
+/// Loads every `*.json` artifact in `dir`, keyed by file name.
+///
+/// # Errors
+/// Returns a readable message when the directory is unreadable, a file
+/// fails to parse, or the directory holds no artifacts at all.
+pub fn load_dir(dir: &Path) -> Result<BTreeMap<String, Json>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut out = BTreeMap::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if !path.is_file() || path.extension().is_none_or(|x| x != "json") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc =
+            Json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        out.insert(name, doc);
+    }
+    if out.is_empty() {
+        return Err(format!("{} holds no *.json artifacts", dir.display()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hec-artifact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn writer_stamps_meta_and_loader_reads_it_back() {
+        let dir = tmpdir("rt");
+        let meta = Meta::collect(3, 2, 4, 3);
+        let w = Writer::new(&dir, &meta).unwrap();
+        w.write("TABLE_demo.json", [("rows", Json::Arr(vec![Json::Num(1.0)]))]).unwrap();
+        let docs = load_dir(&dir).unwrap();
+        let doc = &docs["TABLE_demo.json"];
+        let m = doc.field("meta").unwrap();
+        assert_eq!(m.num_field("schema_version").unwrap(), SCHEMA_VERSION);
+        assert_eq!(m.str_field("config_hash").unwrap(), meta.config_hash);
+        assert_eq!(m.num_field("samples").unwrap(), 3.0);
+        assert!(m.num_field("hec_threads").unwrap() >= 1.0);
+        assert!(!m.str_field("host").unwrap().is_empty());
+        assert_eq!(doc.get("rows").unwrap().as_arr().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn config_hash_is_a_pure_function_of_the_configuration() {
+        // Sample parameters are provenance, not configuration: two runs
+        // with different sample counts still compare their exact fields.
+        let a = Meta::collect(3, 2, 4, 3);
+        let b = Meta::collect(11, 9, 8, 5);
+        assert_eq!(a.config_hash, b.config_hash);
+        assert_eq!(a.config_hash.len(), 16);
+    }
+
+    #[test]
+    fn app_tags_are_the_crate_constants() {
+        assert_eq!(app_tag(AppId::Fvcam), "fvcam");
+        assert_eq!(app_tag(AppId::Gtc), "gtc");
+        assert_eq!(app_tag(AppId::Lbmhd), "lbmhd3d");
+        assert_eq!(app_tag(AppId::Paratec), "paratec");
+    }
+
+    #[test]
+    fn load_dir_rejects_missing_and_empty_directories() {
+        assert!(load_dir(Path::new("/nonexistent/xyzzy")).is_err());
+        let dir = tmpdir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(load_dir(&dir).unwrap_err().contains("no *.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -225,16 +225,15 @@ fn print_samples(title: &str, samples: &[Sample]) {
     }
 }
 
-fn write_json(path: &str, samples: &[Sample]) {
-    let doc = Json::obj([
+fn write_json(w: &crate::artifact::Writer, name: &str, samples: &[Sample]) {
+    let payload = [
         ("harness", Json::Str("repro harness".into())),
         ("warmup", Json::Num(WARMUP as f64)),
         ("min_sample_ns", Json::Num(MIN_SAMPLE_NS as f64)),
         ("samples", Json::Arr(samples.iter().map(|s| s.to_json()).collect())),
-    ]);
-    match std::fs::write(path, doc.emit_pretty() + "\n") {
-        Ok(()) => println!("wrote {path}"),
-        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    ];
+    if let Err(e) = w.write(name, payload) {
+        eprintln!("warning: could not write {name}: {e}");
     }
 }
 
@@ -476,8 +475,16 @@ pub fn table_samples(iters: usize) -> Vec<Sample> {
 }
 
 /// Runs the whole suite and writes `BENCH_kernels.json` / `BENCH_apps.json`
-/// in the current directory.
+/// in the current directory with a fresh metadata stamp (the standalone
+/// `repro harness` entry point).
 pub fn run(iters: usize) {
+    let meta = crate::artifact::Meta::collect(iters, 0, 0, 0);
+    run_into(&crate::artifact::Writer::cwd(&meta), iters);
+}
+
+/// Runs the whole suite and writes `BENCH_kernels.json` / `BENCH_apps.json`
+/// through `w`.
+pub fn run_into(w: &crate::artifact::Writer, iters: usize) {
     println!(
         "harness: {WARMUP} warmup calls + {iters} timed samples per case \
          (>= {} µs per sample, calls auto-batched)\n",
@@ -496,9 +503,9 @@ pub fn run(iters: usize) {
     print_samples("table regeneration", &tables);
     println!();
 
-    write_json("BENCH_kernels.json", &kernels);
+    write_json(w, "BENCH_kernels.json", &kernels);
     apps.extend(tables);
-    write_json("BENCH_apps.json", &apps);
+    write_json(w, "BENCH_apps.json", &apps);
 }
 
 #[cfg(test)]

@@ -12,10 +12,17 @@
 //!   (`repro harness`).
 //! * [`loadgen`] — closed-loop load generator for the serve subsystem
 //!   (`repro loadgen`, writes `BENCH_serve.json`).
+//! * [`artifact`] — the metadata-stamped artifact writer/loader shared
+//!   by every JSON-producing subcommand.
+//! * [`pipeline`] — `repro all`: every artifact into one directory.
+//! * [`diff`] — `repro diff`: the cross-commit regression gate.
 
+pub mod artifact;
+pub mod diff;
 pub mod experiments;
 pub mod harness;
 pub mod loadgen;
+pub mod pipeline;
 pub mod profile;
 pub mod render;
 pub mod validate;

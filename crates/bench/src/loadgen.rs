@@ -40,21 +40,32 @@ enum Class {
     Sweep,
 }
 
-/// The repeated-request mix: every app, several platforms, table-sized
-/// concurrencies, plus one sweep per app.
-fn workload(base: &str) -> Vec<(Class, String)> {
-    let mut urls = Vec::new();
+/// The canonical `/eval` query strings: every app across several
+/// platforms at table-sized concurrencies. This list is part of the
+/// reproducibility contract — it seeds the load mix, the
+/// `CANON_eval.json` artifact (`repro all` snapshots each query's exact
+/// response bytes), and the `config_hash` stamped into artifact
+/// metadata, so changing it deliberately invalidates old baselines.
+pub fn eval_queries() -> Vec<String> {
+    let mut qs = Vec::new();
     for (app, extra) in [("gtc", ""), ("lbmhd", "&n=512"), ("paratec", ""), ("fvcam", "&pz=4")] {
         for platform in ["power3", "x1msp", "es", "sx8"] {
-            urls.push((
-                Class::Eval,
-                format!("{base}/eval?app={app}&platform={platform}&procs=256{extra}"),
-            ));
+            qs.push(format!("app={app}&platform={platform}&procs=256{extra}"));
         }
+    }
+    qs.push("app=gtc&platform=4ssp&procs=512".to_string());
+    qs.push("app=lbmhd&platform=opteron&procs=1024&n=1024".to_string());
+    qs
+}
+
+/// The repeated-request mix: the canonical eval points plus one sweep
+/// per app.
+fn workload(base: &str) -> Vec<(Class, String)> {
+    let mut urls: Vec<(Class, String)> =
+        eval_queries().into_iter().map(|q| (Class::Eval, format!("{base}/eval?{q}"))).collect();
+    for app in ["gtc", "lbmhd", "paratec", "fvcam"] {
         urls.push((Class::Sweep, format!("{base}/sweep?app={app}")));
     }
-    urls.push((Class::Eval, format!("{base}/eval?app=gtc&platform=4ssp&procs=512")));
-    urls.push((Class::Eval, format!("{base}/eval?app=lbmhd&platform=opteron&procs=1024&n=1024")));
     urls
 }
 
@@ -141,12 +152,20 @@ fn summarize(class: Class, label: &str, samples: &[Sample]) -> LatencySummary {
     }
 }
 
+/// Runs the load test against `url` and writes the result into the
+/// current directory with a fresh metadata stamp (the standalone
+/// `repro loadgen` entry point).
+pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
+    let meta = crate::artifact::Meta::collect(0, secs, clients, 0);
+    run_into(&crate::artifact::Writer::cwd(&meta), url, secs, clients)
+}
+
 /// Runs the load test against `url` (a `hec-serve` instance or a
 /// `hec-cluster` router) and writes `BENCH_serve.json` or
-/// `BENCH_cluster.json` accordingly. Returns the number of error
-/// responses (HTTP or transport, after retries) so the CLI can exit
-/// nonzero on a failing run.
-pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
+/// `BENCH_cluster.json` through `w` accordingly. Returns the number of
+/// error responses (HTTP or transport, after retries) so callers can
+/// fail a run that did not serve cleanly.
+pub fn run_into(w: &crate::artifact::Writer, url: &str, secs: u64, clients: usize) -> u64 {
     let base = url.trim_end_matches('/').to_string();
     let metrics_url = format!("{base}/metrics");
     let before = metrics_doc(&metrics_url);
@@ -294,12 +313,8 @@ pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
     }
 
     let out_name = format!("BENCH_{what}.json");
-    match std::fs::write(
-        &out_name,
-        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).emit_pretty(),
-    ) {
-        Ok(()) => eprintln!("wrote {out_name}"),
-        Err(e) => eprintln!("could not write {out_name}: {e}"),
+    if let Err(e) = w.write(&out_name, fields) {
+        eprintln!("could not write {out_name}: {e}");
     }
     errors
 }
@@ -317,6 +332,16 @@ mod tests {
         assert_eq!(quantile(&v, 1.0), 100);
         assert_eq!(quantile(&v[..1], 0.5), 10);
         assert_eq!(quantile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn eval_queries_parse_to_canonical_points() {
+        // The canonical workload must stay inside the request schema —
+        // a typo here would turn every load-test request into a 400 and
+        // break the CANON_eval.json artifact.
+        for q in eval_queries() {
+            hec_serve::request::Point::from_query(&q).unwrap_or_else(|e| panic!("{q}: {e:?}"));
+        }
     }
 
     #[test]

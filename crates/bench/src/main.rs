@@ -6,6 +6,7 @@
 //! the three can never drift apart.
 
 use bench::{experiments, render, validate};
+use hec_serve::engine::AppId;
 use report::paper;
 
 /// One `repro` subcommand: its name, argument hint, one-line help, and
@@ -40,7 +41,12 @@ const COMMANDS: &[Cmd] = &[
             fig2(scale);
         },
     },
-    Cmd { name: "table3", args: "", help: "FVCAM performance on the D mesh", run: |_| table3() },
+    Cmd {
+        name: "table3",
+        args: "",
+        help: "FVCAM performance on the D mesh",
+        run: |_| print!("{}", render::app_table(AppId::Fvcam).render()),
+    },
     Cmd {
         name: "fig3",
         args: "",
@@ -66,49 +72,19 @@ const COMMANDS: &[Cmd] = &[
         name: "table4",
         args: "",
         help: "GTC weak-scaling performance",
-        run: |_| {
-            print!(
-                "{}",
-                render::perf_table(
-                    "Table 4: GTC performance (weak scaling, 3.2M particles/processor)",
-                    &paper::PLATFORMS,
-                    &experiments::gtc_rows()
-                )
-                .render()
-            )
-        },
+        run: |_| print!("{}", render::app_table(AppId::Gtc).render()),
     },
     Cmd {
         name: "table5",
         args: "",
         help: "LBMHD3D performance",
-        run: |_| {
-            print!(
-                "{}",
-                render::perf_table(
-                    "Table 5: LBMHD3D performance",
-                    &paper::PLATFORMS,
-                    &experiments::lbmhd_rows()
-                )
-                .render()
-            )
-        },
+        run: |_| print!("{}", render::app_table(AppId::Lbmhd).render()),
     },
     Cmd {
         name: "table6",
         args: "",
         help: "PARATEC performance",
-        run: |_| {
-            print!(
-                "{}",
-                render::perf_table(
-                    "Table 6: PARATEC performance (488-atom CdSe quantum dot)",
-                    &paper::PLATFORMS,
-                    &experiments::paratec_rows()
-                )
-                .render()
-            )
-        },
+        run: |_| print!("{}", render::app_table(AppId::Paratec).render()),
     },
     Cmd {
         name: "fig8",
@@ -169,10 +145,28 @@ const COMMANDS: &[Cmd] = &[
         run: |args| stop(args),
     },
     Cmd {
-        name: "all",
+        name: "report",
         args: "",
-        help: "everything except validate/harness/profile/serve",
-        run: |_| all(),
+        help: "print every table and figure (no artifacts written)",
+        run: |_| report_all(),
+    },
+    Cmd {
+        name: "all",
+        args: "[dir]",
+        help: "regenerate every artifact (tables, canon, profiles, bench) into one stamped dir",
+        run: |args| {
+            let dir = args.first().map(String::as_str).unwrap_or(bench::pipeline::DEFAULT_DIR);
+            if let Err(e) = bench::pipeline::run_all(dir) {
+                eprintln!("repro all: {e}");
+                std::process::exit(1);
+            }
+        },
+    },
+    Cmd {
+        name: "diff",
+        args: "<old-dir> [new-dir] [--threshold=F]",
+        help: "compare two artifact dirs; exit 1 on drift or regression beyond threshold",
+        run: |args| std::process::exit(bench::diff::run_cli(args)),
     },
     Cmd { name: "help", args: "", help: "this list", run: |_| print!("{}", usage()) },
 ];
@@ -298,12 +292,12 @@ fn stop(args: &[String]) {
     }
 }
 
-fn all() {
+fn report_all() {
     print!("{}", render::table1().render());
     println!();
     table2();
     println!();
-    table3();
+    print!("{}", render::app_table(AppId::Fvcam).render());
     println!();
     print!("{}", render::fig3(&experiments::fvcam_rows(), &paper::FVCAM_PLATFORMS));
     println!();
@@ -316,12 +310,8 @@ fn all() {
         )
     );
     println!();
-    for (title, rows) in [
-        ("Table 4: GTC performance", experiments::gtc_rows()),
-        ("Table 5: LBMHD3D performance", experiments::lbmhd_rows()),
-        ("Table 6: PARATEC performance", experiments::paratec_rows()),
-    ] {
-        print!("{}", render::perf_table(title, &paper::PLATFORMS, &rows).render());
+    for app in [AppId::Gtc, AppId::Lbmhd, AppId::Paratec] {
+        print!("{}", render::app_table(app).render());
         println!();
     }
     print!("{}", render::fig8(&experiments::fig8_apps(), &paper::PLATFORMS));
@@ -357,18 +347,6 @@ fn table2() {
         ("GTC", loc("crates/gtc")),
     ];
     print!("{}", render::table2(&ours).render());
-}
-
-fn table3() {
-    print!(
-        "{}",
-        render::perf_table(
-            "Table 3: FVCAM performance on the D mesh (0.5 x 0.625 deg)",
-            &paper::FVCAM_PLATFORMS,
-            &experiments::fvcam_rows()
-        )
-        .render()
-    );
 }
 
 fn fig2(scale: usize) {

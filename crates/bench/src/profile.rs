@@ -16,6 +16,8 @@ use hec_core::probe::Capture;
 pub struct AppProfile {
     /// Application name as the tables spell it.
     pub app: &'static str,
+    /// The owning crate's stable artifact tag (`PROFILE_<tag>.json`).
+    pub tag: &'static str,
     /// The production configuration the workload was rescaled to.
     pub config: String,
     /// Named calibration captures (PARATEC has two; the rest one).
@@ -55,6 +57,7 @@ pub fn collect() -> Vec<AppProfile> {
 
     out.push(AppProfile {
         app: "GTC",
+        tag: gtc::ARTIFACT_TAG,
         config: "P=256, 100 particles/cell".into(),
         captures: vec![("calibration", gtc::model::calibration_capture().clone())],
         workload: gtc::model::measured_workload(256),
@@ -62,6 +65,7 @@ pub fn collect() -> Vec<AppProfile> {
 
     out.push(AppProfile {
         app: "LBMHD3D",
+        tag: lbmhd::ARTIFACT_TAG,
         config: "P=256, 512^3 grid".into(),
         captures: vec![("calibration", lbmhd::model::calibration_capture().clone())],
         workload: lbmhd::model::measured_workload(512, 256),
@@ -75,6 +79,7 @@ pub fn collect() -> Vec<AppProfile> {
             .expect("FVCAM P=256 Pz=4 must be feasible with 1 or 4 threads");
         out.push(AppProfile {
             app: "FVCAM",
+            tag: fvcam::ARTIFACT_TAG,
             config: "P=256, 2D Pz=4, D mesh".into(),
             captures: vec![("calibration", fvcam::model::calibration_capture().clone())],
             workload,
@@ -85,6 +90,7 @@ pub fn collect() -> Vec<AppProfile> {
         let cal = paratec::model::calibration();
         out.push(AppProfile {
             app: "PARATEC",
+            tag: paratec::ARTIFACT_TAG,
             config: "P=256, 488-atom CdSe".into(),
             captures: vec![("fft", cal.fft.clone()), ("gemm", cal.gemm.clone())],
             workload: paratec::model::measured_workload(256),
@@ -94,13 +100,23 @@ pub fn collect() -> Vec<AppProfile> {
     out
 }
 
-fn file_name(app: &str) -> String {
-    format!("PROFILE_{}.json", app.to_lowercase())
+/// The artifact file name for one profile, keyed by the owning crate's
+/// stable tag.
+pub fn file_name(p: &AppProfile) -> String {
+    format!("PROFILE_{}.json", p.tag)
+}
+
+/// Runs the captures and writes the profiles into the current directory
+/// with a fresh metadata stamp (the standalone `repro profile` entry
+/// point).
+pub fn run() {
+    let meta = crate::artifact::Meta::collect(0, 0, 0, 0);
+    run_into(&crate::artifact::Writer::cwd(&meta));
 }
 
 /// Runs the captures, prints a per-phase summary, and writes one
-/// `PROFILE_<app>.json` per application in the current directory.
-pub fn run() {
+/// `PROFILE_<tag>.json` per application through `w`.
+pub fn run_into(w: &crate::artifact::Writer) {
     for p in collect() {
         println!("== {} ({}) ==", p.app, p.config);
         for (name, cap) in &p.captures {
@@ -121,12 +137,10 @@ pub fn run() {
         for ph in &p.workload.phases {
             println!("    {:<28} {:>14.3e} flops/proc/step", ph.name, ph.flops);
         }
-        let path = file_name(p.app);
-        let doc =
-            Json::obj([("source", Json::Str("repro profile".into())), ("profile", p.to_json())]);
-        match std::fs::write(&path, doc.emit_pretty() + "\n") {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        let name = file_name(&p);
+        let payload = [("source", Json::Str("repro profile".into())), ("profile", p.to_json())];
+        if let Err(e) = w.write(&name, payload) {
+            eprintln!("warning: could not write {name}: {e}");
         }
         println!();
     }

@@ -102,6 +102,36 @@ pub fn perf_table(title: &str, platforms: &[&str; 7], rows: &[Row]) -> Table {
     t
 }
 
+/// Renders the paper table for one application — the single source of
+/// each table's title, platform set, and rows, shared by the `repro
+/// table3`–`table6` subcommands.
+pub fn app_table(app: hec_serve::engine::AppId) -> Table {
+    use hec_serve::engine::AppId;
+    let (title, platforms, rows) = match app {
+        AppId::Fvcam => (
+            "Table 3: FVCAM performance on the D mesh (0.5 x 0.625 deg)",
+            &report::paper::FVCAM_PLATFORMS,
+            crate::experiments::fvcam_rows(),
+        ),
+        AppId::Gtc => (
+            "Table 4: GTC performance (weak scaling, 3.2M particles/processor)",
+            &report::paper::PLATFORMS,
+            crate::experiments::gtc_rows(),
+        ),
+        AppId::Lbmhd => (
+            "Table 5: LBMHD3D performance",
+            &report::paper::PLATFORMS,
+            crate::experiments::lbmhd_rows(),
+        ),
+        AppId::Paratec => (
+            "Table 6: PARATEC performance (488-atom CdSe quantum dot)",
+            &report::paper::PLATFORMS,
+            crate::experiments::paratec_rows(),
+        ),
+    };
+    perf_table(title, platforms, &rows)
+}
+
 /// Figure 3: percentage of peak vs processor count (selected FVCAM
 /// configurations), one marker per platform.
 pub fn fig3(rows: &[Row], platforms: &[&str; 7]) -> String {

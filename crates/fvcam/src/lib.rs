@@ -28,6 +28,11 @@
 //! * [`sim`] — the timestep driver plus the physics-package surrogate.
 //! * [`model`] — analytic workload model (Table 3, Figures 3/4).
 
+/// Stable artifact-file tag: `TABLE_fvcam.json` / `PROFILE_fvcam.json`
+/// are keyed by this name, so renaming it breaks every committed
+/// baseline directory — treat it as part of the artifact schema.
+pub const ARTIFACT_TAG: &str = "fvcam";
+
 pub mod advect;
 pub mod decomp;
 pub mod grid;

@@ -24,6 +24,11 @@
 //! * [`sim`] — msim driver wiring the two-level decomposition together.
 //! * [`model`] — analytic workload model feeding `hec-arch` (Table 4).
 
+/// Stable artifact-file tag: `TABLE_gtc.json` / `PROFILE_gtc.json`
+/// are keyed by this name, so renaming it breaks every committed
+/// baseline directory — treat it as part of the artifact schema.
+pub const ARTIFACT_TAG: &str = "gtc";
+
 pub mod deposit;
 pub mod geometry;
 pub mod model;

@@ -154,6 +154,62 @@ mod tests {
     }
 
     #[test]
+    fn ownership_is_invariant_under_vnode_insertion_order() {
+        // Property: the ring is a *set* of points — the order vnodes are
+        // generated in must not matter. Build the same point set in a
+        // seeded Fisher-Yates-shuffled order and check every owner list
+        // agrees with the canonically built ring.
+        use hec_core::rng::Rng;
+        let (replicas, vnodes, replication) = (5, 32, 3);
+        let canonical = Ring::new(replicas, vnodes, replication);
+        for seed in 0..8u64 {
+            let mut labels: Vec<(usize, usize)> =
+                (0..replicas).flat_map(|r| (0..vnodes).map(move |v| (r, v))).collect();
+            let mut rng = Rng::new(seed);
+            for i in (1..labels.len()).rev() {
+                labels.swap(i, rng.below(i + 1));
+            }
+            let mut points: Vec<(u64, usize)> = labels
+                .into_iter()
+                .map(|(r, v)| (stable_hash(format!("replica{r}#vnode{v}").as_bytes()), r))
+                .collect();
+            points.sort_unstable();
+            let shuffled = Ring { points, replicas, replication };
+            for i in 0..100 {
+                let key = format!("app{}|plat{}|procs={}", i % 4, i % 7, 1 << (i % 10));
+                assert_eq!(canonical.owners(&key), shuffled.owners(&key), "seed {seed}, key {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_key_has_exactly_r_distinct_owners_across_configs() {
+        // Property: for any (replicas, vnodes, replication) and any key,
+        // the owner list has exactly min(replication, replicas) entries,
+        // all distinct, all valid replica indices.
+        use hec_core::rng::Rng;
+        let mut rng = Rng::new(0xC0FFEE);
+        for replicas in 1..=6usize {
+            for &vnodes in &[1usize, 16, 64] {
+                for replication in 1..=5usize {
+                    let ring = Ring::new(replicas, vnodes, replication);
+                    let want = replication.min(replicas);
+                    for _ in 0..50 {
+                        let key = format!("k{}", rng.next_u64());
+                        let owners = ring.owners(&key);
+                        assert_eq!(owners.len(), want, "{replicas}r/{vnodes}v/{replication}R");
+                        let mut sorted = owners.clone();
+                        sorted.sort_unstable();
+                        sorted.dedup();
+                        assert_eq!(sorted.len(), want, "duplicate owner in {owners:?}");
+                        assert!(owners.iter().all(|&r| r < replicas));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn stable_hash_is_pinned() {
         // The ring layout is part of the cluster's deterministic
         // contract; a silent hash change would shuffle every owner list.

@@ -91,6 +91,35 @@ mod tests {
     }
 
     #[test]
+    fn different_seeds_give_different_schedules() {
+        // The jitter must actually depend on the seed — identical
+        // schedules across a retrier fleet is exactly the stampede the
+        // jitter exists to break up.
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(seed, 10, 10_000, 8);
+            std::iter::from_fn(|| b.next_delay()).collect()
+        };
+        let base = schedule(1);
+        assert!((2..=16).any(|s| schedule(s) != base), "all seeds produced one schedule");
+    }
+
+    #[test]
+    fn clone_replays_the_remaining_schedule() {
+        // Cloning mid-stream snapshots the generator state: the clone
+        // must continue with exactly the delays the original will take.
+        let mut a = Backoff::new(99, 10, 1000, 8);
+        a.next_delay();
+        a.next_delay();
+        let mut b = a.clone();
+        assert_eq!(b.attempts(), a.attempts());
+        for _ in 0..6 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        assert_eq!(a.next_delay(), None);
+        assert_eq!(b.next_delay(), None);
+    }
+
+    #[test]
     fn delays_grow_exponentially_within_jitter_bounds() {
         let mut b = Backoff::new(42, 10, 10_000, 8);
         for k in 0..8u32 {

@@ -361,6 +361,38 @@ mod tests {
     }
 
     #[test]
+    fn retry_after_hint_is_capped_at_cap_ms() {
+        // A server advertising `Retry-After: 60` (seconds) must not
+        // stall the client for a minute per retry: the hint is honored
+        // but clamped to `cap_ms`. Mock listener: always 503.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                let mut buf = [0u8; 1024];
+                let _ = std::io::Read::read(&mut s, &mut buf);
+                let _ = s.write_all(
+                    b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 60\r\n\
+                      Content-Length: 0\r\nConnection: close\r\n\r\n",
+                );
+            }
+        });
+        let policy =
+            RetryPolicy { base_ms: 1, cap_ms: 50, max_retries: 3, timeout: Duration::from_secs(5) };
+        let t0 = std::time::Instant::now();
+        let out = get_with_retry(&format!("http://{addr}/eval"), &policy, 7).unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(out.response.status, 503, "budget exhausted, last 503 returned");
+        assert_eq!(out.attempts, 4, "initial attempt + max_retries");
+        assert!(!out.retried_ok);
+        // 3 capped sleeps of exactly 50 ms each — far from 3 x 60 s.
+        assert!(elapsed >= Duration::from_millis(120), "hint ignored? {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(5), "cap not applied: {elapsed:?}");
+        drop(server); // listener thread exits with the test process
+    }
+
+    #[test]
     fn hedged_get_rejects_empty_url_list() {
         assert!(hedged_get(&[], Duration::from_millis(1), Duration::from_millis(50)).is_err());
     }

@@ -28,6 +28,11 @@
 //! * [`sim`] — the driver: initial conditions, stepping, diagnostics.
 //! * [`model`] — analytic workload model feeding `hec-arch` (Table 5).
 
+/// Stable artifact-file tag: `TABLE_lbmhd3d.json` / `PROFILE_lbmhd3d.json`
+/// are keyed by this name, so renaming it breaks every committed
+/// baseline directory — treat it as part of the artifact schema.
+pub const ARTIFACT_TAG: &str = "lbmhd3d";
+
 pub mod collide;
 pub mod decomp;
 pub mod lattice;

@@ -26,6 +26,11 @@
 //! * [`solver`] — all-band preconditioned minimization + orthonormalization.
 //! * [`model`] — analytic workload model feeding `hec-arch` (Table 6).
 
+/// Stable artifact-file tag: `TABLE_paratec.json` / `PROFILE_paratec.json`
+/// are keyed by this name, so renaming it breaks every committed
+/// baseline directory — treat it as part of the artifact schema.
+pub const ARTIFACT_TAG: &str = "paratec";
+
 pub mod basis;
 pub mod fftdist;
 pub mod hamiltonian;

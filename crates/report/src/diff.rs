@@ -1,0 +1,149 @@
+//! Artifact-diff report: the findings table `repro diff` prints when
+//! two artifact directories disagree.
+//!
+//! The diff engine (`bench::diff`) classifies every disagreement into a
+//! [`FindingKind`]; this module owns the display types and the fixed
+//! rendering so the golden-fixture tests can assert on stable report
+//! text ("which file, which field") without reaching into the engine.
+
+use crate::table::Table;
+
+/// How a compared field (or whole artifact) disagreed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// An exact-deterministic field changed value.
+    Drift,
+    /// A thresholded performance field regressed beyond tolerance.
+    Regression,
+    /// A field or artifact present in the old directory is gone.
+    Missing,
+    /// An artifact or field appeared that the old directory lacks.
+    Extra,
+}
+
+impl FindingKind {
+    /// Fixed label used in the report table.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Drift => "drift",
+            FindingKind::Regression => "regression",
+            FindingKind::Missing => "missing",
+            FindingKind::Extra => "extra",
+        }
+    }
+}
+
+/// One disagreement between the two artifact directories.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Artifact file name, e.g. `PROFILE_gtc.json`.
+    pub file: String,
+    /// Dotted field path inside the artifact (empty for whole-file
+    /// findings), e.g. `profile.captures[0].capture.phases[deposit].counters.flops`.
+    pub path: String,
+    /// What kind of disagreement this is.
+    pub kind: FindingKind,
+    /// Old vs new values and, for regressions, the relative change.
+    pub detail: String,
+}
+
+/// Renders the findings as a fixed-width table, worst category first
+/// (drift and missing before regressions — exactness outranks pace).
+pub fn findings_table(title: &str, findings: &[Finding]) -> Table {
+    let mut t = Table::new(title, &["kind", "file", "field", "detail"]);
+    let rank = |k: FindingKind| match k {
+        FindingKind::Drift => 0,
+        FindingKind::Missing => 1,
+        FindingKind::Extra => 2,
+        FindingKind::Regression => 3,
+    };
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by(|a, b| {
+        rank(a.kind).cmp(&rank(b.kind)).then_with(|| (&a.file, &a.path).cmp(&(&b.file, &b.path)))
+    });
+    for f in sorted {
+        let field = if f.path.is_empty() { "—".to_string() } else { f.path.clone() };
+        t.push_row(vec![f.kind.label().to_string(), f.file.clone(), field, f.detail.clone()]);
+    }
+    t
+}
+
+/// One-line verdict for the bottom of the report.
+pub fn summary_line(
+    findings: &[Finding],
+    files_compared: usize,
+    perf_note: Option<&str>,
+) -> String {
+    let count = |k: FindingKind| findings.iter().filter(|f| f.kind == k).count();
+    let note = perf_note.map(|n| format!(" ({n})")).unwrap_or_default();
+    if findings.is_empty() {
+        format!("diff: ok — {files_compared} artifacts compared, no drift, no regressions{note}")
+    } else {
+        format!(
+            "diff: FAILED — {} drift, {} regression(s), {} missing, {} extra across {} artifacts{note}",
+            count(FindingKind::Drift),
+            count(FindingKind::Regression),
+            count(FindingKind::Missing),
+            count(FindingKind::Extra),
+            files_compared,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(kind: FindingKind, file: &str, path: &str) -> Finding {
+        Finding { file: file.into(), path: path.into(), kind, detail: "old 1 -> new 2".into() }
+    }
+
+    #[test]
+    fn table_names_the_offending_file_and_field() {
+        let t = findings_table(
+            "artifact diff",
+            &[f(FindingKind::Drift, "PROFILE_gtc.json", "profile.captures[0].flops")],
+        );
+        let s = t.render();
+        assert!(s.contains("PROFILE_gtc.json"));
+        assert!(s.contains("profile.captures[0].flops"));
+        assert!(s.contains("drift"));
+    }
+
+    #[test]
+    fn drift_sorts_before_regressions() {
+        let t = findings_table(
+            "d",
+            &[
+                f(FindingKind::Regression, "BENCH_serve.json", "throughput_rps"),
+                f(FindingKind::Drift, "TABLE_gtc.json", "rows[0].cells[1].gflops_per_proc"),
+            ],
+        );
+        let s = t.render();
+        let drift_at = s.find("drift").unwrap();
+        let reg_at = s.find("regression").unwrap();
+        assert!(drift_at < reg_at);
+    }
+
+    #[test]
+    fn whole_file_findings_render_a_dash_field() {
+        let t = findings_table("d", &[f(FindingKind::Missing, "TABLE_gtc.json", "")]);
+        assert!(t.render().contains("—"));
+    }
+
+    #[test]
+    fn summary_counts_each_kind() {
+        let fs = [
+            f(FindingKind::Drift, "a", "x"),
+            f(FindingKind::Regression, "b", "y"),
+            f(FindingKind::Regression, "b", "z"),
+        ];
+        let s = summary_line(&fs, 11, None);
+        assert!(s.contains("FAILED"));
+        assert!(s.contains("1 drift"));
+        assert!(s.contains("2 regression(s)"));
+        let ok = summary_line(&[], 11, Some("perf skipped: different host"));
+        assert!(ok.contains("ok"));
+        assert!(ok.contains("perf skipped"));
+    }
+}

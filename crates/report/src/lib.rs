@@ -8,7 +8,10 @@
 //!   factor) between our model's predictions and the paper.
 //! * [`latency`] — latency/throughput summaries for the serve
 //!   benchmark (`repro loadgen`).
+//! * [`diff`] — the findings table `repro diff` prints when two artifact
+//!   directories disagree (drift / regression / missing / extra).
 
+pub mod diff;
 pub mod latency;
 pub mod paper;
 pub mod plot;

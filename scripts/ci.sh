@@ -8,53 +8,60 @@ cargo build --release --offline --workspace --examples
 cargo test -q --offline --workspace
 cargo fmt --check
 
-# Smoke the bench harness under shared-memory threading: one timed
-# sample per case, two workers, scaling fields written to the JSONs.
-HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- harness 1
-
-# Smoke the instrumented profile captures under threading: the counters
-# must be thread-invariant, so the PROFILE_*.json artifacts this writes
-# are identical to a serial run's.
-HEC_THREADS=2 cargo run --release --offline -q -p bench --bin repro -- profile
+# Regenerate every artifact (tables, canonical responses, profiles,
+# bench JSONs) in one run, then hold it against the committed baseline.
+# Exact-deterministic fields (phase counters, table cells, response
+# bytes) must match bit for bit. Thresholded performance fields get a
+# deliberately loose 10x tolerance: a shared CI box cannot resolve the
+# 15% default (that path is pinned by the golden-fixture tests in
+# tests/repro_diff.rs), but an order-of-magnitude collapse still fails
+# the gate. Perf comparison auto-skips when the host fingerprint in the
+# baseline's metadata does not match this machine.
+ART_DIR=$(mktemp -d)
+trap 'rm -rf "$ART_DIR"' EXIT
+HEC_THREADS=2 ./target/release/repro all "$ART_DIR"
+./target/release/repro diff baseline "$ART_DIR" --threshold=10
 
 # Smoke the serve subsystem end to end: ephemeral port, short closed-loop
 # load, zero error responses required, then a graceful stop (drains
 # in-flight requests before the process exits).
-HEC_THREADS=2 ./target/release/repro serve > serve_ci.log 2>&1 &
+SERVE_LOG=$(mktemp)
+HEC_THREADS=2 ./target/release/repro serve > "$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 for _ in 1 2 3 4 5 6 7 8 9 10; do
-    SERVE_URL=$(sed -n 's/^listening on /http:\/\//p' serve_ci.log)
+    SERVE_URL=$(sed -n 's/^listening on /http:\/\//p' "$SERVE_LOG")
     [ -n "$SERVE_URL" ] && break
     sleep 1
 done
-[ -n "$SERVE_URL" ] || { echo "ci: serve did not come up"; cat serve_ci.log; exit 1; }
+[ -n "$SERVE_URL" ] || { echo "ci: serve did not come up"; cat "$SERVE_LOG"; exit 1; }
 # loadgen itself exits nonzero on any error response (after retries), so
 # no artifact grep is needed here.
 HEC_THREADS=2 ./target/release/repro loadgen "$SERVE_URL" 2 4
 ./target/release/repro stop "$SERVE_URL"
 wait "$SERVE_PID"
-grep -q "drained and stopped" serve_ci.log || { echo "ci: serve did not stop gracefully"; exit 1; }
-rm -f serve_ci.log
+grep -q "drained and stopped" "$SERVE_LOG" || { echo "ci: serve did not stop gracefully"; exit 1; }
+rm -f "$SERVE_LOG"
 
 # Smoke the cluster tier end to end: 3 replicas behind the router, load
 # through the one frontend URL, kill a replica mid-run, and require zero
 # error responses anyway (replication + failover must absorb the kill),
 # then a graceful stop of router and replicas together.
-HEC_THREADS=2 ./target/release/repro cluster 3 > cluster_ci.log 2>&1 &
+CLUSTER_LOG=$(mktemp)
+HEC_THREADS=2 ./target/release/repro cluster 3 > "$CLUSTER_LOG" 2>&1 &
 CLUSTER_PID=$!
 for _ in 1 2 3 4 5 6 7 8 9 10; do
-    CLUSTER_URL=$(sed -n 's/^listening on /http:\/\//p' cluster_ci.log)
+    CLUSTER_URL=$(sed -n 's/^listening on /http:\/\//p' "$CLUSTER_LOG")
     [ -n "$CLUSTER_URL" ] && break
     sleep 1
 done
-[ -n "$CLUSTER_URL" ] || { echo "ci: cluster did not come up"; cat cluster_ci.log; exit 1; }
+[ -n "$CLUSTER_URL" ] || { echo "ci: cluster did not come up"; cat "$CLUSTER_LOG"; exit 1; }
 ( sleep 1; ./target/release/repro kill "$CLUSTER_URL" 0 ) &
 KILL_PID=$!
 HEC_THREADS=2 ./target/release/repro loadgen "$CLUSTER_URL" 3 4
 wait "$KILL_PID"
 ./target/release/repro stop "$CLUSTER_URL"
 wait "$CLUSTER_PID"
-grep -q "drained and stopped" cluster_ci.log || { echo "ci: cluster did not stop gracefully"; exit 1; }
-rm -f cluster_ci.log
+grep -q "drained and stopped" "$CLUSTER_LOG" || { echo "ci: cluster did not stop gracefully"; exit 1; }
+rm -f "$CLUSTER_LOG"
 
 echo "ci: ok"

@@ -11,8 +11,10 @@
 //! * service: [`hec_serve`] (prediction-as-a-service over HTTP/1.1);
 //! * reporting: [`report`].
 //!
-//! Start with `examples/quickstart.rs`, or regenerate the paper with
-//! `cargo run --release -p bench --bin repro all`.
+//! Start with `examples/quickstart.rs`, print every table and figure
+//! with `cargo run --release -p bench --bin repro report`, or regenerate
+//! the full metadata-stamped artifact set (and diff it across commits)
+//! with `repro all` / `repro diff` — see EXPERIMENTS.md.
 
 pub use fvcam;
 pub use gtc;

@@ -1,0 +1,240 @@
+//! Golden-fixture tests for `repro diff` — the cross-commit gate.
+//!
+//! The committed `baseline/` directory is the golden fixture. Each test
+//! copies it, applies one synthetic mutation (counter drift, a 20%
+//! throughput drop, a missing artifact, an extra artifact), runs the
+//! same `run_cli` entry point the `repro diff` subcommand uses, and
+//! asserts the exact exit code plus that the report names the offending
+//! file and field. Because both directories are copies of the same
+//! baseline, their metadata stamps agree and the thresholded
+//! performance comparisons are always active, regardless of which
+//! machine the tests run on.
+
+use std::path::{Path, PathBuf};
+
+use bench::diff::{diff_dirs, run_cli, DiffOptions, EXIT_FINDINGS, EXIT_OK, EXIT_USAGE};
+use hec_core::json::Json;
+use report::diff::{findings_table, FindingKind};
+
+const BASELINE: &str = "baseline";
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hec-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Copies the committed baseline into a fresh temp dir.
+fn copy_baseline(tag: &str) -> PathBuf {
+    let dst = tmpdir(tag);
+    for entry in std::fs::read_dir(BASELINE).expect("committed baseline/ must exist") {
+        let path = entry.unwrap().path();
+        std::fs::copy(&path, dst.join(path.file_name().unwrap())).unwrap();
+    }
+    dst
+}
+
+/// Rewrites one artifact in `dir` through an in-memory JSON edit.
+fn mutate(dir: &Path, file: &str, edit: impl FnOnce(&mut Json)) {
+    let path = dir.join(file);
+    let mut doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    edit(&mut doc);
+    std::fs::write(&path, doc.emit_pretty()).unwrap();
+}
+
+/// Nudges the first numeric leaf under the given top-level field by
+/// `delta`, skipping `timing` subtrees (those are tolerated noise, so
+/// mutating them would not produce a finding).
+fn bump_first_num(doc: &mut Json, field: &str, delta: f64) {
+    fn walk(v: &mut Json, delta: f64) -> bool {
+        match v {
+            Json::Num(n) => {
+                *n += delta;
+                true
+            }
+            Json::Obj(fields) => fields.iter_mut().any(|(k, v)| k != "timing" && walk(v, delta)),
+            Json::Arr(items) => items.iter_mut().any(|v| walk(v, delta)),
+            _ => false,
+        }
+    }
+    let target = match doc {
+        Json::Obj(fields) => {
+            &mut fields.iter_mut().find(|(k, _)| k == field).expect("field exists").1
+        }
+        _ => panic!("artifact root must be an object"),
+    };
+    assert!(walk(target, delta), "no numeric leaf under {field}");
+}
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn identical_copies_diff_clean() {
+    let a = copy_baseline("clean-a");
+    let b = copy_baseline("clean-b");
+    assert_eq!(run_cli(&args(&[a.to_str().unwrap(), b.to_str().unwrap()])), EXIT_OK);
+    std::fs::remove_dir_all(&a).unwrap();
+    std::fs::remove_dir_all(&b).unwrap();
+}
+
+#[test]
+fn baseline_diffs_clean_against_itself_in_place() {
+    assert_eq!(run_cli(&args(&[BASELINE, BASELINE])), EXIT_OK);
+}
+
+#[test]
+fn counter_drift_fails_and_names_the_field() {
+    let dir = copy_baseline("drift");
+    // A phase counter in a profile is exact-deterministic: nudge one.
+    mutate(&dir, "PROFILE_gtc.json", |doc| bump_first_num(doc, "profile", 1.0));
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_FINDINGS);
+
+    // The report must carry the offending file and field, not just a
+    // pass/fail bit: check through the same engine the CLI prints from.
+    let old = bench::artifact::load_dir(Path::new(BASELINE)).unwrap();
+    let new = bench::artifact::load_dir(&dir).unwrap();
+    let report = diff_dirs(&old, &new, DiffOptions::default());
+    let drift: Vec<_> = report.findings.iter().filter(|f| f.kind == FindingKind::Drift).collect();
+    assert!(!drift.is_empty());
+    assert!(drift.iter().all(|f| f.file == "PROFILE_gtc.json"), "{drift:?}");
+    assert!(drift[0].path.starts_with("profile."), "{}", drift[0].path);
+    let rendered = findings_table("t", &report.findings).render();
+    assert!(rendered.contains("PROFILE_gtc.json"));
+    assert!(rendered.contains(&drift[0].path));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn table_cell_drift_fails() {
+    let dir = copy_baseline("cell");
+    mutate(&dir, "TABLE_lbmhd3d.json", |doc| bump_first_num(doc, "table", 0.5));
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_FINDINGS);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn canonical_response_byte_drift_fails() {
+    let dir = copy_baseline("canon");
+    mutate(&dir, "CANON_eval.json", |doc| {
+        // Flip one byte of one snapshotted response body.
+        fn first_body(v: &mut Json) -> Option<&mut String> {
+            match v {
+                Json::Obj(fields) => fields.iter_mut().find_map(|(k, v)| {
+                    if k == "body" {
+                        match v {
+                            Json::Str(s) => Some(s),
+                            _ => None,
+                        }
+                    } else {
+                        first_body(v)
+                    }
+                }),
+                Json::Arr(items) => items.iter_mut().find_map(first_body),
+                _ => None,
+            }
+        }
+        first_body(doc).expect("a response body").push(' ');
+    });
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_FINDINGS);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn twenty_percent_throughput_drop_fails_at_default_threshold() {
+    let dir = copy_baseline("reg");
+    mutate(&dir, "BENCH_serve.json", |doc| {
+        let Json::Obj(fields) = doc else { panic!() };
+        let tput = &mut fields.iter_mut().find(|(k, _)| k == "throughput_rps").unwrap().1;
+        let Json::Num(n) = tput else { panic!() };
+        *n *= 0.8; // a 20% drop beats the 15% default tolerance
+    });
+    let d = dir.to_str().unwrap();
+    assert_eq!(run_cli(&args(&[BASELINE, d])), EXIT_FINDINGS);
+    // The same drop passes a loosened gate (regression, not drift).
+    assert_eq!(run_cli(&args(&[BASELINE, d, "--threshold=0.3"])), EXIT_OK);
+    // And the finding is classified as a regression on the right field.
+    let old = bench::artifact::load_dir(Path::new(BASELINE)).unwrap();
+    let new = bench::artifact::load_dir(&dir).unwrap();
+    let report = diff_dirs(&old, &new, DiffOptions::default());
+    assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    assert_eq!(report.findings[0].kind, FindingKind::Regression);
+    assert_eq!(report.findings[0].file, "BENCH_serve.json");
+    assert_eq!(report.findings[0].path, "throughput_rps");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_artifact_fails_and_is_named() {
+    let dir = copy_baseline("missing");
+    std::fs::remove_file(dir.join("PROFILE_paratec.json")).unwrap();
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_FINDINGS);
+    let old = bench::artifact::load_dir(Path::new(BASELINE)).unwrap();
+    let new = bench::artifact::load_dir(&dir).unwrap();
+    let report = diff_dirs(&old, &new, DiffOptions::default());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == FindingKind::Missing && f.file == "PROFILE_paratec.json"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn extra_artifact_fails_and_is_named() {
+    let dir = copy_baseline("extra");
+    std::fs::write(
+        dir.join("TABLE_surprise.json"),
+        Json::obj([("note", Json::Str("synthetic".into()))]).emit_pretty(),
+    )
+    .unwrap();
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_FINDINGS);
+    let old = bench::artifact::load_dir(Path::new(BASELINE)).unwrap();
+    let new = bench::artifact::load_dir(&dir).unwrap();
+    let report = diff_dirs(&old, &new, DiffOptions::default());
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.kind == FindingKind::Extra && f.file == "TABLE_surprise.json"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unreadable_directories_and_bad_flags_are_usage_errors() {
+    assert_eq!(run_cli(&args(&["/nonexistent/old", BASELINE])), EXIT_USAGE);
+    assert_eq!(run_cli(&args(&[BASELINE, "/nonexistent/new"])), EXIT_USAGE);
+    assert_eq!(run_cli(&args(&[])), EXIT_USAGE);
+    assert_eq!(run_cli(&args(&["a", "b", "c"])), EXIT_USAGE);
+    assert_eq!(run_cli(&args(&[BASELINE, BASELINE, "--threshold=-1"])), EXIT_USAGE);
+    assert_eq!(run_cli(&args(&[BASELINE, BASELINE, "--threshold=zero"])), EXIT_USAGE);
+}
+
+#[test]
+fn wall_clock_and_sample_count_changes_are_tolerated() {
+    let dir = copy_baseline("noise");
+    // Simulated nondeterminism: a later creation stamp, a different
+    // commit, different sample counts, shifted latency means.
+    mutate(&dir, "BENCH_serve.json", |doc| {
+        let Json::Obj(fields) = doc else { panic!() };
+        for (k, v) in fields.iter_mut() {
+            match k.as_str() {
+                "meta" => {
+                    let Json::Obj(meta) = v else { panic!() };
+                    for (mk, mv) in meta.iter_mut() {
+                        match mk.as_str() {
+                            "created_unix" => *mv = Json::Num(4e9),
+                            "git_commit" => *mv = Json::Str("deadbeef0000".into()),
+                            "samples" => *mv = Json::Num(99.0),
+                            _ => {}
+                        }
+                    }
+                }
+                "requests" => *v = Json::Num(123456.0),
+                _ => {}
+            }
+        }
+    });
+    assert_eq!(run_cli(&args(&[BASELINE, dir.to_str().unwrap()])), EXIT_OK);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
