@@ -105,7 +105,9 @@ fn classify(file: &str, path: &[String]) -> Class {
             "harness" | "warmup" | "min_sample_ns" | "name" | "units" | "unit_label" => {
                 Class::Exact
             }
-            "throughput_per_sec" => Class::PerfLowerBad,
+            // Gflop/s is the paper's reporting unit: regressions in it
+            // gate directly, not only via the generic throughput field.
+            "throughput_per_sec" | "gflops" => Class::PerfLowerBad,
             // median/min/iters/samples/threads/speedup/efficiency:
             // provenance and derived noise, all folded into throughput.
             _ => Class::Ignore,
@@ -599,6 +601,32 @@ mod tests {
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].kind, FindingKind::Missing);
         assert!(r.findings[0].path.contains("[a]"), "{}", r.findings[0].path);
+    }
+
+    #[test]
+    fn gflops_regressions_gate_like_throughput() {
+        let mk = |g: f64| {
+            dir_of(&[(
+                "BENCH_kernels.json",
+                doc(
+                    "h",
+                    &[(
+                        "samples",
+                        Json::Arr(vec![Json::obj([
+                            ("name", Json::Str("gemm/dgemm_128/t1".into())),
+                            ("gflops", Json::Num(g)),
+                        ])]),
+                    )],
+                ),
+            )])
+        };
+        let r = diff_dirs(&mk(14.0), &mk(10.0), DiffOptions::default());
+        assert_eq!(r.findings.len(), 1, "29% Gflop/s drop beats the 15% default");
+        assert_eq!(r.findings[0].kind, FindingKind::Regression);
+        assert!(r.findings[0].path.contains("gflops"), "{}", r.findings[0].path);
+        // Noise inside the tolerance and improvements stay clean.
+        assert!(diff_dirs(&mk(14.0), &mk(13.0), DiffOptions::default()).findings.is_empty());
+        assert!(diff_dirs(&mk(14.0), &mk(20.0), DiffOptions::default()).findings.is_empty());
     }
 
     #[test]

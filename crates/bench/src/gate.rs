@@ -1,0 +1,208 @@
+//! `repro gate` — loose parallel-speedup gate over harness artifacts.
+//!
+//! CI runs the harness with `HEC_THREADS=2` and then asserts that the
+//! threaded leg of the gated kernels actually beat their serial leg
+//! (`speedup > 1.0` — deliberately loose; `repro diff` owns the tight
+//! regression thresholds). A threaded leg that is *slower* than serial
+//! means the parallel path re-materializes state per call or serializes
+//! on a lock — exactly the pathology this PR's LBMHD rework removed —
+//! and should fail the build even when absolute throughput looks fine.
+//!
+//! On a box without two hardware threads the comparison is meaningless
+//! (two workers time-share one core), so the gate skips with a note
+//! instead of failing. Exit codes follow `repro diff`: 0 clean/skip,
+//! 1 findings, 2 usage.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hec_core::json::Json;
+
+use crate::artifact;
+use crate::diff::{EXIT_FINDINGS, EXIT_OK, EXIT_USAGE};
+
+/// Case-name prefixes whose threaded legs must show `speedup > 1.0`.
+/// `gemm/dgemm` lives in `BENCH_kernels.json`, `lbmhd/` in
+/// `BENCH_apps.json`; the gate scans both artifacts uniformly.
+pub const GATED_PREFIXES: &[&str] = &["gemm/dgemm", "lbmhd/"];
+
+/// Result of gating one artifact directory.
+#[derive(Debug)]
+pub struct GateReport {
+    /// `(case name, speedup)` for every gated threaded leg found.
+    pub checked: Vec<(String, f64)>,
+    /// Human-readable failures (no speedup, or speedup ≤ 1).
+    pub failures: Vec<String>,
+    /// Why the gate did not run, when it did not.
+    pub skipped: Option<String>,
+}
+
+impl GateReport {
+    /// True when the gate ran and every gated case passed.
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Applies the speedup gate to loaded artifact documents. `parallelism`
+/// is the machine's hardware thread count: below 2 the gate is
+/// vacuous and skips.
+pub fn gate_docs(docs: &BTreeMap<String, Json>, parallelism: usize) -> GateReport {
+    if parallelism < 2 {
+        return GateReport {
+            checked: Vec::new(),
+            failures: Vec::new(),
+            skipped: Some(format!(
+                "gate skipped: {parallelism} hardware thread(s) — a 2-worker speedup \
+                 cannot exceed 1.0 on this machine"
+            )),
+        };
+    }
+    let mut checked = Vec::new();
+    let mut failures = Vec::new();
+    for doc in docs.values() {
+        let Some(samples) = doc.get("samples").and_then(Json::as_arr) else {
+            continue;
+        };
+        for s in samples {
+            let Some(name) = s.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            if !GATED_PREFIXES.iter().any(|p| name.starts_with(p)) {
+                continue;
+            }
+            // Only the threaded legs carry a meaningful speedup; the t1
+            // leg's is 1.0 by construction.
+            let threads = s.get("threads").and_then(Json::as_f64).unwrap_or(1.0);
+            if threads < 2.0 {
+                continue;
+            }
+            match s.get("speedup").and_then(Json::as_f64) {
+                Some(sp) => {
+                    checked.push((name.to_string(), sp));
+                    if sp <= 1.0 {
+                        failures.push(format!(
+                            "{name}: {sp:.3}x with {threads:.0} workers — threaded leg \
+                             no faster than serial"
+                        ));
+                    }
+                }
+                None => failures.push(format!("{name}: threaded leg has no speedup field")),
+            }
+        }
+    }
+    if checked.is_empty() {
+        failures.push(format!(
+            "no gated samples found (want threaded legs named {GATED_PREFIXES:?}) — \
+             harness artifacts missing or renamed"
+        ));
+    }
+    GateReport { checked, failures, skipped: None }
+}
+
+/// The `repro gate [dir]` entry point: loads the directory, gates, prints
+/// the verdict, and returns the exit code.
+pub fn run_cli(args: &[String]) -> i32 {
+    let dir = match args {
+        [] => crate::pipeline::DEFAULT_DIR,
+        [d] => d.as_str(),
+        _ => {
+            eprintln!("usage: repro gate [dir]");
+            return EXIT_USAGE;
+        }
+    };
+    let docs = match artifact::load_dir(Path::new(dir)) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("repro gate: {e}");
+            return EXIT_USAGE;
+        }
+    };
+    let parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let report = gate_docs(&docs, parallelism);
+    if let Some(note) = &report.skipped {
+        println!("{note}");
+        return EXIT_OK;
+    }
+    for (name, sp) in &report.checked {
+        println!("gate: {name} speedup {sp:.3}x");
+    }
+    if report.clean() {
+        println!("gate: {} gated case(s) all beat serial", report.checked.len());
+        EXIT_OK
+    } else {
+        for f in &report.failures {
+            eprintln!("gate FAIL: {f}");
+        }
+        EXIT_FINDINGS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, threads: f64, speedup: Option<f64>) -> Json {
+        let mut fields =
+            vec![("name", Json::Str(name.to_string())), ("threads", Json::Num(threads))];
+        if let Some(s) = speedup {
+            fields.push(("speedup", Json::Num(s)));
+        }
+        Json::obj(fields)
+    }
+
+    fn docs(samples: Vec<Json>) -> BTreeMap<String, Json> {
+        let doc = Json::obj([("samples", Json::Arr(samples))]);
+        [("BENCH_kernels.json".to_string(), doc)].into()
+    }
+
+    #[test]
+    fn passing_speedups_are_clean() {
+        let d = docs(vec![
+            sample("gemm/dgemm_128/t1", 1.0, Some(1.0)),
+            sample("gemm/dgemm_128/t2", 2.0, Some(1.6)),
+            sample("lbmhd/collide_stream_24cubed/t2", 2.0, Some(1.8)),
+            sample("stream/triad_4096/t2", 2.0, Some(0.4)), // not gated
+        ]);
+        let r = gate_docs(&d, 4);
+        assert!(r.clean(), "{:?}", r.failures);
+        assert_eq!(r.checked.len(), 2);
+    }
+
+    #[test]
+    fn slow_threaded_leg_fails() {
+        let d = docs(vec![sample("lbmhd/collide_stream_24cubed/t2", 2.0, Some(0.97))]);
+        let r = gate_docs(&d, 4);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("0.970x"), "{}", r.failures[0]);
+    }
+
+    #[test]
+    fn missing_gated_samples_fail_rather_than_silently_pass() {
+        let d = docs(vec![sample("stream/triad_4096/t2", 2.0, Some(1.5))]);
+        let r = gate_docs(&d, 4);
+        assert_eq!(r.failures.len(), 1);
+        assert!(r.failures[0].contains("no gated samples"), "{}", r.failures[0]);
+    }
+
+    #[test]
+    fn single_core_machines_skip_with_a_note() {
+        let d = docs(vec![sample("gemm/dgemm_128/t2", 2.0, Some(0.5))]);
+        let r = gate_docs(&d, 1);
+        assert!(r.skipped.is_some());
+        assert!(r.clean());
+        assert!(r.checked.is_empty());
+    }
+
+    #[test]
+    fn serial_legs_are_not_gated() {
+        // A t1 leg with speedup 1.0 must not trip the "≤ 1.0" rule.
+        let d = docs(vec![
+            sample("gemm/dgemm_64/t1", 1.0, Some(1.0)),
+            sample("gemm/dgemm_64/t2", 2.0, Some(1.2)),
+        ]);
+        let r = gate_docs(&d, 2);
+        assert!(r.clean(), "{:?}", r.failures);
+        assert_eq!(r.checked.len(), 1);
+    }
+}

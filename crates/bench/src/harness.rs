@@ -67,6 +67,19 @@ impl Sample {
             f64::INFINITY
         }
     }
+
+    /// Measured Gflop/s at the median time — only for cases whose units
+    /// are flops (flops/ns ≡ Gflop/s). The paper reports every kernel this
+    /// way, so it is a first-class field rather than a reader-side derivation.
+    pub fn gflops(&self) -> Option<f64> {
+        (self.unit_label == "flop").then(|| {
+            if self.median_ns > 0.0 {
+                self.units / self.median_ns
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
 }
 
 impl ToJson for Sample {
@@ -81,6 +94,9 @@ impl ToJson for Sample {
             ("unit_label", Json::Str(self.unit_label.to_string())),
             ("throughput_per_sec", Json::Num(self.throughput())),
         ];
+        if let Some(g) = self.gflops() {
+            fields.push(("gflops", Json::Num(g)));
+        }
         if let Some(t) = self.threads {
             fields.push(("threads", Json::Num(t as f64)));
         }
@@ -503,6 +519,28 @@ pub fn run_into(w: &crate::artifact::Writer, iters: usize) {
     print_samples("table regeneration", &tables);
     println!();
 
+    // Paper-style Gflop/s summary of every flop-counted case.
+    let gflops_rows: Vec<report::latency::GflopsRow> = kernels
+        .iter()
+        .chain(apps.iter())
+        .filter_map(|s| {
+            s.gflops().map(|g| report::latency::GflopsRow {
+                label: s.name.clone(),
+                threads: s.threads.map(|t| t as u64),
+                gflops: g,
+                speedup: s.speedup,
+                efficiency: s.efficiency,
+            })
+        })
+        .collect();
+    if !gflops_rows.is_empty() {
+        println!(
+            "{}",
+            report::latency::gflops_table("measured Gflop/s (median)", &gflops_rows).render()
+        );
+        println!();
+    }
+
     write_json(w, "BENCH_kernels.json", &kernels);
     apps.extend(tables);
     write_json(w, "BENCH_apps.json", &apps);
@@ -579,6 +617,27 @@ mod tests {
         assert_eq!(j.num_field("threads").unwrap(), 4.0);
         assert_eq!(j.num_field("speedup").unwrap(), 3.2);
         assert_eq!(j.num_field("efficiency").unwrap(), 0.8);
+        // Non-flop cases carry no gflops field.
+        assert!(j.num_field("gflops").is_err());
+    }
+
+    #[test]
+    fn flop_cases_report_gflops_first_class() {
+        let s = Sample {
+            name: "gemm/dgemm_64".into(),
+            iters: 8,
+            samples: 3,
+            median_ns: 1000.0,
+            min_ns: 900.0,
+            units: 2048.0,
+            unit_label: "flop",
+            threads: None,
+            speedup: None,
+            efficiency: None,
+        };
+        // 2048 flops in 1000 ns = 2.048 Gflop/s.
+        assert_eq!(s.gflops(), Some(2.048));
+        assert_eq!(s.to_json().num_field("gflops").unwrap(), 2.048);
     }
 
     #[test]

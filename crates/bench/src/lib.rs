@@ -20,6 +20,7 @@
 pub mod artifact;
 pub mod diff;
 pub mod experiments;
+pub mod gate;
 pub mod harness;
 pub mod loadgen;
 pub mod pipeline;

@@ -168,6 +168,12 @@ const COMMANDS: &[Cmd] = &[
         help: "compare two artifact dirs; exit 1 on drift or regression beyond threshold",
         run: |args| std::process::exit(bench::diff::run_cli(args)),
     },
+    Cmd {
+        name: "gate",
+        args: "[dir]",
+        help: "assert threaded lbmhd/dgemm harness legs beat serial (skips on 1-core boxes)",
+        run: |args| std::process::exit(bench::gate::run_cli(args)),
+    },
     Cmd { name: "help", args: "", help: "this list", run: |_| print!("{}", usage()) },
 ];
 

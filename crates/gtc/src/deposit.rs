@@ -296,6 +296,28 @@ mod tests {
     }
 
     #[test]
+    fn binned_deposit_matches_unbinned_within_tolerance() {
+        // Binning permutes the scatter order, so per-point sums differ only
+        // by association: the identity oracle is a relative-1e-12 bound per
+        // grid point (documented in EXPERIMENTS.md), not bit equality.
+        let g = grid();
+        let parts = load_uniform(2500, 0.15, 0.85, 0.0, 1.0, 33);
+        let mut unbinned = empty_planes(&g, 3);
+        deposit(&g, &parts, &mut unbinned, 0.0, 1.0 / 3.0);
+        let mut sorted = parts.clone();
+        assert!(sorted.bin_by_cell(&g) > 1);
+        let mut binned = empty_planes(&g, 3);
+        deposit(&g, &sorted, &mut binned, 0.0, 1.0 / 3.0);
+        for (a, b) in unbinned.iter().flatten().zip(binned.iter().flatten()) {
+            assert!((a - b).abs() <= 1e-12 * a.abs().max(1.0), "{a} vs {b}");
+        }
+        // Total deposited charge is unchanged to round-off.
+        let ta: f64 = unbinned.iter().flatten().sum();
+        let tb: f64 = binned.iter().flatten().sum();
+        assert!((ta - tb).abs() < 1e-9 * ta.abs().max(1.0));
+    }
+
+    #[test]
     fn threaded_deposit_is_exactly_serial_below_one_chunk() {
         let g = grid();
         let parts = load_uniform(DEPOSIT_CHUNK / 2, 0.15, 0.85, 0.0, 1.0, 7);

@@ -180,6 +180,12 @@ impl GtcSim {
         let mzeta = self.fields.mzeta;
         let plane_len = grid.len();
 
+        // --- Bin markers by poloidal cell so the scatter walks the charge
+        // grid in memory order (the cache-machine cure for the paper's §4
+        // scatter locality problem). The sort is a pure deterministic
+        // reorder — worker-count invariance of the whole step is untouched.
+        self.particles.bin_by_cell(&grid);
+
         // --- Charge deposition (scatter) into mzeta planes + ghost:
         // the work-vector method across threads (private grid copies,
         // fixed-order reduction — bitwise invariant in the worker count).

@@ -3,16 +3,41 @@
 //! PARATEC spends most of its time in ZGEMM (nonlocal pseudopotential and
 //! subspace products) and the paper attributes its high %-of-peak on every
 //! platform to exactly these cache-friendly kernels. The implementations
-//! here use register-tiled blocking; they are not meant to beat vendor BLAS,
-//! but they have the same arithmetic-intensity profile, which is what the
-//! architectural model consumes.
+//! here follow the classic packed-panel design (Goto-style): B is packed
+//! once into `NR`-wide column panels, each band of A into `MR`-tall row
+//! micro-panels, and an `MR×NR` register-tile microkernel accumulates the
+//! full-`k` dot products in registers before a single writeback. They are
+//! not meant to beat vendor BLAS, but they have the same
+//! arithmetic-intensity profile, which is what the architectural model
+//! consumes.
+//!
+//! Determinism: the microkernel accumulates each output element's products
+//! in `p = 0..k` order starting from zero and writes back
+//! `alpha·acc + beta·c`, which is *exactly* the chain
+//! [`dgemm_reference`] computes — so the blocked [`dgemm`] is bitwise
+//! identical to the naive reference, and (because each element's chain is
+//! independent of row banding) [`par_dgemm`] is bitwise identical at every
+//! worker count.
 
 use crate::complex::Complex64;
 use hec_core::pool::Threads;
 use hec_core::probe::{self, Counters};
 
-/// Cache block edge for the tiled matrix kernels.
-const BLOCK: usize = 48;
+/// Microkernel register-tile rows (real kernel). At 6×8 the accumulator
+/// tile is 12 256-bit registers; with two B loads and one A broadcast it
+/// fills a 16-register SIMD file without spilling.
+const MR: usize = 6;
+/// Microkernel register-tile columns (real kernel): one packed B panel is
+/// `NR` doubles wide, the unit-stride width of the innermost loop.
+const NR: usize = 8;
+/// Column-block width (in output columns): the group of packed B panels a
+/// sweep of A micro-panels re-reads while it stays cache-resident.
+const NC: usize = 256;
+/// Microkernel register-tile rows (complex kernel).
+const ZMR: usize = 2;
+/// Microkernel register-tile columns (complex kernel): 4 complex = 8
+/// doubles of unit-stride width.
+const ZNR: usize = 4;
 
 /// Minimum flops per worker before the `par_*` GEMMs spawn threads:
 /// below this the spawn cost exceeds the banded work (the small-size
@@ -22,8 +47,8 @@ pub const GEMM_MIN_FLOPS_PER_WORKER: u64 = 8 * 1024 * 1024;
 
 /// Records the probe events of one `m×n×k` real GEMM. Counted once per
 /// API call (never per band), so captures are identical for any worker
-/// count. The innermost vectorizable loop is the `jmax-j0`-long row
-/// update; it runs once per `(i, p, j0)` triple.
+/// count. The innermost vectorizable loop is the `NR`-wide accumulator
+/// update; it runs once per `(i, p, j-panel)` triple.
 fn count_dgemm(m: usize, n: usize, k: usize) {
     if !probe::enabled() {
         return;
@@ -37,7 +62,7 @@ fn count_dgemm(m: usize, n: usize, k: usize) {
             // A is re-read once per (i, p) pair.
             unit_stride_bytes: m * n * k * 24 + m * k * 8,
             vector_iters: m * n * k,
-            vector_loops: m * k * n.div_ceil(BLOCK as u64),
+            vector_loops: m * k * n.div_ceil(NR as u64),
             ..Default::default()
         },
     );
@@ -56,10 +81,64 @@ fn count_zgemm(m: usize, n: usize, k: usize) {
             flops: 8 * m * n * k,
             unit_stride_bytes: m * n * k * 48 + m * k * 16,
             vector_iters: m * n * k,
-            vector_loops: m * k * n.div_ceil(BLOCK as u64),
+            vector_loops: m * k * n.div_ceil(ZNR as u64),
             ..Default::default()
         },
     );
+}
+
+/// Packs row-major `k×n` B into `n.div_ceil(NR)` contiguous panels, panel
+/// `jp` holding columns `jp·NR..` as `k` rows of `NR` doubles
+/// (zero-padded past column `n`). Pure copies — no rounding.
+fn pack_b(n: usize, k: usize, b: &[f64]) -> Vec<f64> {
+    let ntiles = n.div_ceil(NR);
+    let mut out = vec![0.0f64; ntiles * k * NR];
+    for jp in 0..ntiles {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut out[jp * k * NR..][..k * NR];
+        for p in 0..k {
+            panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    out
+}
+
+/// Packs `rows` rows of A starting at `row0` into `MR`-tall micro-panels,
+/// panel `ip` holding rows `row0 + ip·MR..` as `k` columns of `MR`
+/// doubles (zero-padded past the last row). Pure copies — no rounding.
+fn pack_a(row0: usize, rows: usize, k: usize, a: &[f64]) -> Vec<f64> {
+    let mtiles = rows.div_ceil(MR);
+    let mut out = vec![0.0f64; mtiles * k * MR];
+    for ip in 0..mtiles {
+        let i0 = ip * MR;
+        let h = MR.min(rows - i0);
+        let panel = &mut out[ip * k * MR..][..k * MR];
+        for ir in 0..h {
+            let arow = &a[(row0 + i0 + ir) * k..][..k];
+            for p in 0..k {
+                panel[p * MR + ir] = arow[p];
+            }
+        }
+    }
+    out
+}
+
+/// The `MR×NR` register-tile microkernel: `acc[ir][jr] += Σ_p a·b` with
+/// the sum taken in `p = 0..k` order (the reference chain). Both operands
+/// are packed, so every load is unit-stride.
+#[inline(always)]
+fn dgemm_microkernel(k: usize, ap: &[f64], bp: &[f64], acc: &mut [[f64; NR]; MR]) {
+    for p in 0..k {
+        let av = &ap[p * MR..p * MR + MR];
+        let bv = &bp[p * NR..p * NR + NR];
+        for ir in 0..MR {
+            let a_ir = av[ir];
+            for jr in 0..NR {
+                acc[ir][jr] += a_ir * bv[jr];
+            }
+        }
+    }
 }
 
 /// `C ← alpha · A·B + beta · C` for row-major `f64` matrices.
@@ -81,49 +160,52 @@ pub fn dgemm(
     assert_eq!(a.len(), m * k, "A dimension mismatch");
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
     count_dgemm(m, n, k);
-    dgemm_rows(0, n, k, alpha, a, b, beta, c);
+    let bp = pack_b(n, k, b);
+    dgemm_band(0, n, k, alpha, a, &bp, beta, c);
 }
 
-/// The blocked GEMM body on a band of C rows starting at global row
-/// `row0`. For any fixed row, the per-element update order over
-/// `(p0, j0, p)` is independent of how rows are banded, so splitting C
-/// into row bands — at any boundaries — is bitwise identical to the
-/// full serial kernel.
+/// The packed GEMM body on a band of C rows starting at global row
+/// `row0`; `bp` is the output of [`pack_b`] (shared across bands). Each
+/// output element's chain (`p = 0..k` accumulation, then
+/// `alpha·acc + beta·c`) is independent of how rows are banded, so
+/// splitting C into row bands — at any boundaries — is bitwise identical
+/// to the full serial kernel *and* to [`dgemm_reference`].
 #[allow(clippy::too_many_arguments)]
-fn dgemm_rows(
+fn dgemm_band(
     row0: usize,
     n: usize,
     k: usize,
     alpha: f64,
     a: &[f64],
-    b: &[f64],
+    bp: &[f64],
     beta: f64,
     c: &mut [f64],
 ) {
     let rows = c.len() / n.max(1);
-    if beta != 1.0 {
-        for x in c.iter_mut() {
-            *x *= beta;
-        }
-    }
-    for i0 in (0..rows).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(rows);
-        for p0 in (0..k).step_by(BLOCK) {
-            let pmax = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let jmax = (j0 + BLOCK).min(n);
-                for i in i0..imax {
-                    for p in p0..pmax {
-                        let aip = alpha * a[(row0 + i) * k + p];
-                        if aip == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[p * n + j0..p * n + jmax];
-                        let crow = &mut c[i * n + j0..i * n + jmax];
-                        for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv += aip * *bv;
-                        }
+    let ap = pack_a(row0, rows, k, a);
+    let mtiles = rows.div_ceil(MR);
+    let ntiles = n.div_ceil(NR);
+    let nc_tiles = NC / NR;
+    // Column blocks keep a `k × NC` chunk of packed B cache-resident
+    // while every A micro-panel sweeps over it.
+    for jc in (0..ntiles).step_by(nc_tiles) {
+        let jc_max = (jc + nc_tiles).min(ntiles);
+        for ip in 0..mtiles {
+            let a_panel = &ap[ip * k * MR..][..k * MR];
+            let h = MR.min(rows - ip * MR);
+            for jp in jc..jc_max {
+                let b_panel = &bp[jp * k * NR..][..k * NR];
+                let w = NR.min(n - jp * NR);
+                let mut acc = [[0.0f64; NR]; MR];
+                dgemm_microkernel(k, a_panel, b_panel, &mut acc);
+                for ir in 0..h {
+                    let crow = &mut c[(ip * MR + ir) * n + jp * NR..][..w];
+                    for (jr, cv) in crow.iter_mut().enumerate() {
+                        *cv = alpha * acc[ir][jr] + beta * *cv;
                     }
                 }
             }
@@ -154,11 +236,12 @@ pub fn par_dgemm(
         return;
     }
     count_dgemm(m, n, k);
+    let bp = pack_b(n, k, b);
     let min_rows = (GEMM_MIN_FLOPS_PER_WORKER / (2 * (n * k).max(1)) as u64).max(1) as usize;
     let threads = threads.clamp_for(m, min_rows);
     let band = m.div_ceil(threads.workers()).max(1);
     threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
-        dgemm_rows(band_idx * band, n, k, alpha, a, b, beta, c_band);
+        dgemm_band(band_idx * band, n, k, alpha, a, &bp, beta, c_band);
     });
 }
 
@@ -192,16 +275,69 @@ pub fn zgemm(
     }
     assert_eq!(b.len(), k * n, "B dimension mismatch");
     assert_eq!(c.len(), m * n, "C dimension mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
     count_zgemm(m, n, k);
-    zgemm_rows(ta, 0, m, n, k, alpha, a, b, beta, c);
+    let bp = pack_zb(n, k, b);
+    zgemm_band(ta, 0, m, n, k, alpha, a, &bp, beta, c);
 }
 
-/// The blocked complex GEMM body on a band of C rows starting at global
+/// Packs complex `k×n` B into `ZNR`-wide panels — the complex analog of
+/// [`pack_b`]. Pure copies.
+fn pack_zb(n: usize, k: usize, b: &[Complex64]) -> Vec<Complex64> {
+    let ntiles = n.div_ceil(ZNR);
+    let mut out = vec![Complex64::ZERO; ntiles * k * ZNR];
+    for jp in 0..ntiles {
+        let j0 = jp * ZNR;
+        let w = ZNR.min(n - j0);
+        let panel = &mut out[jp * k * ZNR..][..k * ZNR];
+        for p in 0..k {
+            panel[p * ZNR..p * ZNR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    out
+}
+
+/// Packs `rows` rows of op(A) starting at `row0` into `ZMR`-tall
+/// micro-panels; the conjugate (exact — it only flips a sign bit) is
+/// applied at pack time so the microkernel reads both transposes the
+/// same unit-stride way.
+fn pack_za(
+    ta: Trans,
+    row0: usize,
+    rows: usize,
+    m: usize,
+    k: usize,
+    a: &[Complex64],
+) -> Vec<Complex64> {
+    let mtiles = rows.div_ceil(ZMR);
+    let mut out = vec![Complex64::ZERO; mtiles * k * ZMR];
+    for ip in 0..mtiles {
+        let i0 = ip * ZMR;
+        let h = ZMR.min(rows - i0);
+        let panel = &mut out[ip * k * ZMR..][..k * ZMR];
+        for ir in 0..h {
+            let i = row0 + i0 + ir;
+            for p in 0..k {
+                panel[p * ZMR + ir] = match ta {
+                    Trans::None => a[i * k + p],
+                    Trans::ConjTrans => a[p * m + i].conj(),
+                };
+            }
+        }
+    }
+    out
+}
+
+/// The packed complex GEMM body on a band of C rows starting at global
 /// row `row0` of an `m×n` product (A indexing needs the global `m` for
-/// the conjugate-transpose layout). Bitwise identical to the full serial
-/// kernel for any row banding — see [`dgemm_rows`].
+/// the conjugate-transpose layout). Each element accumulates
+/// `Σ_p op(A)·B` in `p` order in registers, then writes back
+/// `alpha·acc + beta·c` — banding-invariant, so bitwise identical to the
+/// full serial kernel for any worker count.
 #[allow(clippy::too_many_arguments)]
-fn zgemm_rows(
+fn zgemm_band(
     ta: Trans,
     row0: usize,
     m: usize,
@@ -209,36 +345,38 @@ fn zgemm_rows(
     k: usize,
     alpha: Complex64,
     a: &[Complex64],
-    b: &[Complex64],
+    bp: &[Complex64],
     beta: Complex64,
     c: &mut [Complex64],
 ) {
     let rows = c.len() / n.max(1);
-    if beta != Complex64::ONE {
-        for x in c.iter_mut() {
-            *x = *x * beta;
-        }
-    }
-    let fetch_a = |i: usize, p: usize| -> Complex64 {
-        match ta {
-            Trans::None => a[(row0 + i) * k + p],
-            Trans::ConjTrans => a[p * m + row0 + i].conj(),
-        }
-    };
-    for i0 in (0..rows).step_by(BLOCK) {
-        let imax = (i0 + BLOCK).min(rows);
-        for p0 in (0..k).step_by(BLOCK) {
-            let pmax = (p0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let jmax = (j0 + BLOCK).min(n);
-                for i in i0..imax {
-                    for p in p0..pmax {
-                        let aip = alpha * fetch_a(i, p);
-                        let brow = &b[p * n + j0..p * n + jmax];
-                        let crow = &mut c[i * n + j0..i * n + jmax];
-                        for (cv, bv) in crow.iter_mut().zip(brow) {
-                            *cv = cv.mul_add(aip, *bv);
+    let ap = pack_za(ta, row0, rows, m, k, a);
+    let mtiles = rows.div_ceil(ZMR);
+    let ntiles = n.div_ceil(ZNR);
+    let nc_tiles = NC / ZNR;
+    for jc in (0..ntiles).step_by(nc_tiles) {
+        let jc_max = (jc + nc_tiles).min(ntiles);
+        for ip in 0..mtiles {
+            let a_panel = &ap[ip * k * ZMR..][..k * ZMR];
+            let h = ZMR.min(rows - ip * ZMR);
+            for jp in jc..jc_max {
+                let b_panel = &bp[jp * k * ZNR..][..k * ZNR];
+                let w = ZNR.min(n - jp * ZNR);
+                let mut acc = [[Complex64::ZERO; ZNR]; ZMR];
+                for p in 0..k {
+                    let av = &a_panel[p * ZMR..p * ZMR + ZMR];
+                    let bv = &b_panel[p * ZNR..p * ZNR + ZNR];
+                    for ir in 0..ZMR {
+                        let a_ir = av[ir];
+                        for jr in 0..ZNR {
+                            acc[ir][jr] = acc[ir][jr].mul_add(a_ir, bv[jr]);
                         }
+                    }
+                }
+                for ir in 0..h {
+                    let crow = &mut c[(ip * ZMR + ir) * n + jp * ZNR..][..w];
+                    for (jr, cv) in crow.iter_mut().enumerate() {
+                        *cv = alpha * acc[ir][jr] + beta * *cv;
                     }
                 }
             }
@@ -272,11 +410,12 @@ pub fn par_zgemm(
         return;
     }
     count_zgemm(m, n, k);
+    let bp = pack_zb(n, k, b);
     let min_rows = (GEMM_MIN_FLOPS_PER_WORKER / (8 * (n * k).max(1)) as u64).max(1) as usize;
     let threads = threads.clamp_for(m, min_rows);
     let band = m.div_ceil(threads.workers()).max(1);
     threads.par_chunks_mut(c, band * n, |band_idx, c_band| {
-        zgemm_rows(ta, band_idx * band, m, n, k, alpha, a, b, beta, c_band);
+        zgemm_band(ta, band_idx * band, m, n, k, alpha, a, &bp, beta, c_band);
     });
 }
 
@@ -365,16 +504,27 @@ mod tests {
     }
 
     #[test]
-    fn dgemm_matches_reference_on_odd_shapes() {
+    fn dgemm_is_bitwise_identical_to_the_scalar_reference() {
+        // The packed register-tile kernel replicates the reference's exact
+        // chain (p-ordered accumulation from zero, alpha·acc + beta·c), so
+        // serial and banded runs must match the naive loop bit for bit.
         for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (50, 49, 51), (97, 13, 64)] {
             let a = mat(m, k, |i, j| (i as f64 - j as f64) * 0.25 + 1.0);
             let b = mat(k, n, |i, j| (i * 31 + j) as f64 * 0.01 - 0.7);
-            let mut c1 = mat(m, n, |i, j| (i + j) as f64 * 0.1);
-            let mut c2 = c1.clone();
+            let c0 = mat(m, n, |i, j| (i + j) as f64 * 0.1);
+            let mut want = c0.clone();
+            dgemm_reference(m, n, k, 1.3, &a, &b, 0.5, &mut want);
+            let mut c1 = c0.clone();
             dgemm(m, n, k, 1.3, &a, &b, 0.5, &mut c1);
-            dgemm_reference(m, n, k, 1.3, &a, &b, 0.5, &mut c2);
-            for (x, y) in c1.iter().zip(&c2) {
-                assert!((x - y).abs() < 1e-9, "({m},{n},{k})");
+            for (x, y) in c1.iter().zip(&want) {
+                assert_eq!(x.to_bits(), y.to_bits(), "serial ({m},{n},{k})");
+            }
+            for workers in [1usize, 2, 4] {
+                let mut cp = c0.clone();
+                par_dgemm(&Threads::new(workers), m, n, k, 1.3, &a, &b, 0.5, &mut cp);
+                for (x, y) in cp.iter().zip(&want) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "({m},{n},{k}) workers={workers}");
+                }
             }
         }
     }
@@ -514,10 +664,10 @@ mod tests {
         assert_eq!(d.flops, 2 * mu * nu * ku);
         assert_eq!(d.unit_stride_bytes, mu * nu * ku * 24 + mu * ku * 8);
         assert_eq!(d.vector_iters, mu * nu * ku);
-        assert_eq!(d.vector_loops, mu * ku * nu.div_ceil(BLOCK as u64));
+        assert_eq!(d.vector_loops, mu * ku * nu.div_ceil(NR as u64));
         let z = cap.get("kernels/zgemm");
         assert_eq!(z.flops, 8 * mu * nu * ku);
-        assert_eq!(z.vector_loops, mu * ku * nu.div_ceil(BLOCK as u64));
+        assert_eq!(z.vector_loops, mu * ku * nu.div_ceil(ZNR as u64));
     }
 
     #[test]

@@ -37,8 +37,16 @@ pub enum Direction {
 #[derive(Clone, Debug)]
 pub struct FftPlan {
     n: usize,
-    /// Twiddles for the radix-2 core (length of core transform).
-    twiddles: Vec<Complex64>,
+    /// Per-stage forward twiddle tables for the radix-2 core: stage `s`
+    /// (butterfly span `2^{s+1}`) holds its `2^s` twiddles contiguously,
+    /// so the butterfly loop reads them unit-stride instead of striding
+    /// a shared master table. The entries are exact copies of the master
+    /// `e^{-2πik/n}` values — caching changes no bits.
+    stages_fwd: Vec<Vec<Complex64>>,
+    /// The same tables conjugated at plan time (conjugation is exact — it
+    /// flips a sign bit), so the inverse pass carries no per-butterfly
+    /// direction branch.
+    stages_inv: Vec<Vec<Complex64>>,
     /// Bit-reversal permutation for the radix-2 core.
     bitrev: Vec<u32>,
     /// Bluestein machinery for non-power-of-two lengths.
@@ -65,7 +73,8 @@ impl FftPlan {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "FFT length must be positive");
         if n.is_power_of_two() {
-            FftPlan { n, twiddles: make_twiddles(n), bitrev: make_bitrev(n), bluestein: None }
+            let (stages_fwd, stages_inv) = make_stage_tables(n);
+            FftPlan { n, stages_fwd, stages_inv, bitrev: make_bitrev(n), bluestein: None }
         } else {
             let m = (2 * n - 1).next_power_of_two();
             let inner = Box::new(FftPlan::new(m));
@@ -88,7 +97,8 @@ impl FftPlan {
             inner.execute(&mut kernel, Direction::Forward);
             FftPlan {
                 n,
-                twiddles: Vec::new(),
+                stages_fwd: Vec::new(),
+                stages_inv: Vec::new(),
                 bitrev: Vec::new(),
                 bluestein: Some(Bluestein { m, chirp, kernel_hat: kernel, inner }),
             }
@@ -188,25 +198,29 @@ impl FftPlan {
                 data.swap(i, r);
             }
         }
-        // Butterfly passes. Twiddles are stored for the forward direction at
-        // maximum resolution; the inverse conjugates on the fly.
-        let mut len = 2;
-        while len <= n {
-            let half = len / 2;
-            let stride = n / len;
+        // Butterfly passes. Each stage reads its own contiguous twiddle
+        // table (pre-conjugated for the inverse), so the inner loop is
+        // three unit-stride streams with no branch.
+        let tables = match dir {
+            Direction::Forward => &self.stages_fwd,
+            Direction::Inverse => &self.stages_inv,
+        };
+        for (stage, tw) in tables.iter().enumerate() {
+            let half = 1usize << stage;
+            let len = half * 2;
+            let tw = &tw[..half];
             let mut base = 0;
             while base < n {
+                let (los, his) = data[base..base + len].split_at_mut(half);
                 for k in 0..half {
-                    let w = self.twiddles[k * stride];
-                    let w = if dir == Direction::Inverse { w.conj() } else { w };
-                    let lo = data[base + k];
-                    let hi = data[base + k + half] * w;
-                    data[base + k] = lo + hi;
-                    data[base + k + half] = lo - hi;
+                    let w = tw[k];
+                    let lo = los[k];
+                    let hi = his[k] * w;
+                    los[k] = lo + hi;
+                    his[k] = lo - hi;
                 }
                 base += len;
             }
-            len <<= 1;
         }
     }
 
@@ -284,6 +298,24 @@ impl FftPlan {
 fn make_twiddles(n: usize) -> Vec<Complex64> {
     let half = (n / 2).max(1);
     (0..half).map(|k| Complex64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64)).collect()
+}
+
+/// Builds the per-stage (forward, inverse) twiddle tables: stage `s` gets
+/// the master table's entries at stride `n / 2^{s+1}` — exact copies, and
+/// exact conjugates for the inverse.
+fn make_stage_tables(n: usize) -> (Vec<Vec<Complex64>>, Vec<Vec<Complex64>>) {
+    let master = make_twiddles(n);
+    let stages = n.trailing_zeros() as usize;
+    let mut fwd = Vec::with_capacity(stages);
+    let mut inv = Vec::with_capacity(stages);
+    for s in 0..stages {
+        let half = 1usize << s;
+        let stride = n / (half * 2);
+        let table: Vec<Complex64> = (0..half).map(|k| master[k * stride]).collect();
+        inv.push(table.iter().map(|w| w.conj()).collect());
+        fwd.push(table);
+    }
+    (fwd, inv)
 }
 
 fn make_bitrev(n: usize) -> Vec<u32> {
@@ -469,6 +501,29 @@ mod tests {
         plan.execute_batch(&mut serial, count, Direction::Forward);
         plan.execute_batch_with(&t, &mut batch, count, Direction::Forward);
         assert!(max_err(&batch, &serial) == 0.0);
+    }
+
+    #[test]
+    fn stage_tables_are_exact_strided_copies_of_the_master() {
+        // The caching optimization must change no bits: stage s of the
+        // per-stage tables holds master[k * n/2^{s+1}], and the inverse
+        // table its exact conjugate.
+        let n = 1024usize;
+        let plan = FftPlan::new(n);
+        let master = make_twiddles(n);
+        assert_eq!(plan.stages_fwd.len(), n.trailing_zeros() as usize);
+        for (s, (fw, iv)) in plan.stages_fwd.iter().zip(&plan.stages_inv).enumerate() {
+            let half = 1usize << s;
+            let stride = n / (half * 2);
+            assert_eq!(fw.len(), half);
+            for k in 0..half {
+                let w = master[k * stride];
+                assert_eq!(fw[k].re.to_bits(), w.re.to_bits(), "stage {s} k {k}");
+                assert_eq!(fw[k].im.to_bits(), w.im.to_bits(), "stage {s} k {k}");
+                assert_eq!(iv[k].re.to_bits(), w.conj().re.to_bits(), "inv stage {s} k {k}");
+                assert_eq!(iv[k].im.to_bits(), w.conj().im.to_bits(), "inv stage {s} k {k}");
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,44 @@ use crate::complex::Complex64;
 use crate::fft::{Direction, FftPlan};
 use hec_core::pool::Threads;
 
+/// Pencils gathered per transpose block. Gathering `TB` neighboring
+/// pencils at once turns the strided y/z sweeps into copies of
+/// `TB`-element contiguous runs (a blocked transpose), instead of
+/// touching one element per cache line. Pure data movement — the
+/// transformed values are bitwise unchanged.
+const TB: usize = 16;
+
+/// Gathers pencils `i0..i0+tb` of length `len` and stride `stride` from
+/// `data[base..]` into `buf` (line-major: pencil `it` at `buf[it*len..]`),
+/// transforms each line, and scatters them back.
+fn transform_pencil_block(
+    plan: &FftPlan,
+    dir: Direction,
+    data: &mut [Complex64],
+    base: usize,
+    i0: usize,
+    tb: usize,
+    len: usize,
+    stride: usize,
+    buf: &mut [Complex64],
+) {
+    for e in 0..len {
+        let row = &data[base + i0 + stride * e..][..tb];
+        for (it, v) in row.iter().enumerate() {
+            buf[it * len + e] = *v;
+        }
+    }
+    for line in buf[..tb * len].chunks_exact_mut(len) {
+        plan.execute(line, dir);
+    }
+    for e in 0..len {
+        let row = &mut data[base + i0 + stride * e..][..tb];
+        for (it, v) in row.iter_mut().enumerate() {
+            *v = buf[it * len + e];
+        }
+    }
+}
+
 /// Dense 3D complex array with `x` fastest (Fortran-like `(nx, ny, nz)`
 /// indexing, matching the layout the F90 applications use).
 #[derive(Clone, Debug)]
@@ -90,31 +128,41 @@ impl Fft3Plan {
             self.plan_x.execute(line, dir);
         }
 
-        // y pencils: gather with stride nx into a scratch line.
-        let mut line = vec![Complex64::ZERO; ny];
+        // y pencils: blocked transpose — TB neighboring pencils per
+        // gather, so every copy is a contiguous TB-element run.
+        let mut buf = vec![Complex64::ZERO; TB * ny.max(nz)];
         for k in 0..nz {
-            for i in 0..nx {
-                for (j, l) in line.iter_mut().enumerate() {
-                    *l = g.data[i + nx * (j + ny * k)];
-                }
-                self.plan_y.execute(&mut line, dir);
-                for (j, l) in line.iter().enumerate() {
-                    g.data[i + nx * (j + ny * k)] = *l;
-                }
+            for i0 in (0..nx).step_by(TB) {
+                let tb = TB.min(nx - i0);
+                transform_pencil_block(
+                    &self.plan_y,
+                    dir,
+                    &mut g.data,
+                    nx * ny * k,
+                    i0,
+                    tb,
+                    ny,
+                    nx,
+                    &mut buf,
+                );
             }
         }
 
-        // z pencils: gather with stride nx*ny.
-        let mut line = vec![Complex64::ZERO; nz];
+        // z pencils: same blocked transpose with stride nx·ny.
         for j in 0..ny {
-            for i in 0..nx {
-                for (k, l) in line.iter_mut().enumerate() {
-                    *l = g.data[i + nx * (j + ny * k)];
-                }
-                self.plan_z.execute(&mut line, dir);
-                for (k, l) in line.iter().enumerate() {
-                    g.data[i + nx * (j + ny * k)] = *l;
-                }
+            for i0 in (0..nx).step_by(TB) {
+                let tb = TB.min(nx - i0);
+                transform_pencil_block(
+                    &self.plan_z,
+                    dir,
+                    &mut g.data,
+                    nx * j,
+                    i0,
+                    tb,
+                    nz,
+                    nx * ny,
+                    &mut buf,
+                );
             }
         }
     }
@@ -138,36 +186,42 @@ impl Fft3Plan {
         threads.par_chunks_mut(&mut g.data, nx, |_, line| self.plan_x.execute(line, dir));
 
         // y pencils: each z-plane is a contiguous nx·ny slice holding
-        // nx complete strided lines.
+        // nx complete strided lines; blocked transpose within the plane.
         threads.par_chunks_mut(&mut g.data, nx * ny, |_, plane| {
-            let mut line = vec![Complex64::ZERO; ny];
-            for i in 0..nx {
-                for (j, l) in line.iter_mut().enumerate() {
-                    *l = plane[i + nx * j];
-                }
-                self.plan_y.execute(&mut line, dir);
-                for (j, l) in line.iter().enumerate() {
-                    plane[i + nx * j] = *l;
-                }
+            let mut buf = vec![Complex64::ZERO; TB * ny];
+            for i0 in (0..nx).step_by(TB) {
+                let tb = TB.min(nx - i0);
+                transform_pencil_block(&self.plan_y, dir, plane, 0, i0, tb, ny, nx, &mut buf);
             }
         });
 
-        // z pencils cross every plane: gather + transform in parallel
-        // (pure reads of disjoint strided lines), scatter back serially.
-        let pairs: Vec<(usize, usize)> =
-            (0..ny).flat_map(|j| (0..nx).map(move |i| (i, j))).collect();
+        // z pencils cross every plane: gather + transform whole TB-blocks
+        // in parallel (pure reads of disjoint strided lines), scatter
+        // back serially in block order.
+        let blocks: Vec<(usize, usize)> =
+            (0..ny).flat_map(|j| (0..nx).step_by(TB).map(move |i0| (j, i0))).collect();
         let data = &g.data;
-        let lines: Vec<Vec<Complex64>> = threads.par_map(&pairs, |&(i, j)| {
-            let mut line = vec![Complex64::ZERO; nz];
-            for (k, l) in line.iter_mut().enumerate() {
-                *l = data[i + nx * (j + ny * k)];
+        let lines: Vec<Vec<Complex64>> = threads.par_map(&blocks, |&(j, i0)| {
+            let tb = TB.min(nx - i0);
+            let mut buf = vec![Complex64::ZERO; tb * nz];
+            for k in 0..nz {
+                let row = &data[nx * j + i0 + nx * ny * k..][..tb];
+                for (it, v) in row.iter().enumerate() {
+                    buf[it * nz + k] = *v;
+                }
             }
-            self.plan_z.execute(&mut line, dir);
-            line
+            for line in buf.chunks_exact_mut(nz) {
+                self.plan_z.execute(line, dir);
+            }
+            buf
         });
-        for (&(i, j), line) in pairs.iter().zip(&lines) {
-            for (k, l) in line.iter().enumerate() {
-                g.data[i + nx * (j + ny * k)] = *l;
+        for (&(j, i0), buf) in blocks.iter().zip(&lines) {
+            let tb = TB.min(nx - i0);
+            for k in 0..nz {
+                let row = &mut g.data[nx * j + i0 + nx * ny * k..][..tb];
+                for (it, v) in row.iter_mut().enumerate() {
+                    *v = buf[it * nz + k];
+                }
             }
         }
     }

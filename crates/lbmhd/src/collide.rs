@@ -22,6 +22,25 @@
 //! ```
 //!
 //! whose first moment is the induction-equation flux `uB − Bu`.
+//!
+//! ## Kernel structure
+//!
+//! The hot path is written the way the paper's §5.1 describes the vector
+//! ports: the direction loop is *outside*, the grid loop is *inside*, and
+//! every inner loop is a unit-stride f64 stream over one contiguous lane
+//! of the flat [`Block`] storage. Each (j,k) lattice line is processed in
+//! three phases over per-line scratch lanes — moment gather (Q streaming
+//! passes), point-local prep (1/ρ, u, Π, tr Π), and per-direction
+//! equilibrium+relax+write — so the autovectorizer sees plain
+//! `for i { a[i] = b[i] op c[i] }` loops with no struct gathers.
+//!
+//! Every floating-point chain replicates [`step_reference`] exactly
+//! (including multiplications by cᵢ components that are ±0 — eliding them
+//! could flip a zero's sign), so the lane kernel is **bitwise identical**
+//! to the scalar reference, at every worker count. Parallelism is over
+//! z-slabs: the destination lanes are pre-split at slab boundaries into
+//! disjoint `&mut` windows, so workers write in place with no per-call
+//! row materialization and no serial commit pass.
 
 use hec_core::pool::Threads;
 use hec_core::probe::{self, Counters};
@@ -104,9 +123,175 @@ pub fn step(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
     step_with(&Threads::from_env(), src, dst, omega, omega_m)
 }
 
-/// [`step`] with an explicit worker handle. Each (j,k) lattice line is
-/// computed independently and committed in fixed line order, so the result
-/// is bitwise identical for every worker count.
+/// Per-line scratch lanes, allocated once per worker slab (never per line
+/// and never per call into the thread pool).
+struct Scratch {
+    rho: Vec<f64>,
+    /// Gathered ρu during phase 1; overwritten with the recomputed ρ·u of
+    /// `equilibrium` during phase 2 (the reference recomputes it, and the
+    /// two differ in the last bit for some inputs — so must we).
+    mom: [Vec<f64>; 3],
+    b: [Vec<f64>; 3],
+    u: [Vec<f64>; 3],
+    /// Π, 9 lanes `a*3+d` of `nx` each. Π is mathematically symmetric but
+    /// (ρ·u[a])·u[d] and (ρ·u[d])·u[a] can round differently, so all nine
+    /// entries are kept exactly as the reference computes them.
+    pi: Vec<f64>,
+    tr_pi: Vec<f64>,
+    cu: Vec<f64>,
+    cb: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(nx: usize) -> Self {
+        let l = || vec![0.0f64; nx];
+        Scratch {
+            rho: l(),
+            mom: [l(), l(), l()],
+            b: [l(), l(), l()],
+            u: [l(), l(), l()],
+            pi: vec![0.0f64; 9 * nx],
+            tr_pi: l(),
+            cu: l(),
+            cb: l(),
+        }
+    }
+}
+
+/// Collide+stream one (j,k) line of `nx` points. `base` is the padded
+/// linear index of the line's first interior point in `src`; `cut` is the
+/// flat-lane offset where this worker's destination windows begin.
+#[allow(clippy::too_many_arguments)]
+fn collide_line(
+    src: &Block,
+    offs: &[isize; Q],
+    base: usize,
+    cut: usize,
+    omega: f64,
+    omega_m: f64,
+    sf: &mut [&mut [f64]],
+    sg: &mut [&mut [f64]],
+    s: &mut Scratch,
+) {
+    let nx = src.nx;
+    let lane = src.padded_len();
+
+    // Phase 1 — moments. One unit-stride pass per direction; each
+    // accumulator sees its contributions in the same q order as the
+    // scalar reference, so the sums are bitwise identical.
+    {
+        let rho = &mut s.rho[..nx];
+        let [m0, m1, m2] = &mut s.mom;
+        let (m0, m1, m2) = (&mut m0[..nx], &mut m1[..nx], &mut m2[..nx]);
+        let [b0, b1, b2] = &mut s.b;
+        let (b0, b1, b2) = (&mut b0[..nx], &mut b1[..nx], &mut b2[..nx]);
+        rho.fill(0.0);
+        m0.fill(0.0);
+        m1.fill(0.0);
+        m2.fill(0.0);
+        b0.fill(0.0);
+        b1.fill(0.0);
+        b2.fill(0.0);
+        for q in 0..Q {
+            let up = (base as isize + offs[q]) as usize;
+            let c = [C[q][0] as f64, C[q][1] as f64, C[q][2] as f64];
+            let fs = &src.f[q * lane + up..][..nx];
+            // Multiplications by c components that are ±0 are kept: the
+            // reference performs them, and x + f·0 is not always x bitwise
+            // (the product's sign of zero matters).
+            for i in 0..nx {
+                let fv = fs[i];
+                rho[i] += fv;
+                m0[i] += fv * c[0];
+                m1[i] += fv * c[1];
+                m2[i] += fv * c[2];
+            }
+            let g0 = &src.g[(q * 3) * lane + up..][..nx];
+            for i in 0..nx {
+                b0[i] += g0[i];
+            }
+            let g1 = &src.g[(q * 3 + 1) * lane + up..][..nx];
+            for i in 0..nx {
+                b1[i] += g1[i];
+            }
+            let g2 = &src.g[(q * 3 + 2) * lane + up..][..nx];
+            for i in 0..nx {
+                b2[i] += g2[i];
+            }
+        }
+    }
+
+    // Phase 2 — point-local prep: 1/ρ, u, ρ·u (recomputed, see Scratch),
+    // Π, tr Π. Still one unit-stride pass.
+    {
+        let pi = &mut s.pi;
+        for i in 0..nx {
+            let r = s.rho[i];
+            let inv = 1.0 / r;
+            let uu = [s.mom[0][i] * inv, s.mom[1][i] * inv, s.mom[2][i] * inv];
+            let bv = [s.b[0][i], s.b[1][i], s.b[2][i]];
+            let usqr = uu[0] * uu[0] + uu[1] * uu[1] + uu[2] * uu[2];
+            let bsqr = bv[0] * bv[0] + bv[1] * bv[1] + bv[2] * bv[2];
+            for a in 0..3 {
+                s.u[a][i] = uu[a];
+                s.mom[a][i] = r * uu[a];
+                for d in 0..3 {
+                    pi[(a * 3 + d) * nx + i] = r * uu[a] * uu[d] - bv[a] * bv[d];
+                }
+                pi[(a * 3 + a) * nx + i] += 0.5 * bsqr;
+            }
+            s.tr_pi[i] = r * usqr + 0.5 * bsqr;
+        }
+    }
+
+    // Phase 3 — per direction: equilibrium, relax, write. The f pass also
+    // stores cᵢ·u and cᵢ·B so the three g passes reuse the exact values.
+    let off = base - cut;
+    for q in 0..Q {
+        let up = (base as isize + offs[q]) as usize;
+        let c = [C[q][0] as f64, C[q][1] as f64, C[q][2] as f64];
+        let w = W[q];
+        {
+            let fs = &src.f[q * lane + up..][..nx];
+            let fd = &mut sf[q][off..off + nx];
+            let (rho, tr_pi, pi) = (&s.rho, &s.tr_pi, &s.pi);
+            let (m, u, b) = (&s.mom, &s.u, &s.b);
+            let (cu_l, cb_l) = (&mut s.cu, &mut s.cb);
+            for i in 0..nx {
+                let cmom = c[0] * m[0][i] + c[1] * m[1][i] + c[2] * m[2][i];
+                let cu = c[0] * u[0][i] + c[1] * u[1][i] + c[2] * u[2][i];
+                let cb = c[0] * b[0][i] + c[1] * b[1][i] + c[2] * b[2][i];
+                let mut cpc = 0.0;
+                for a in 0..3 {
+                    for d in 0..3 {
+                        cpc += c[a] * pi[(a * 3 + d) * nx + i] * c[d];
+                    }
+                }
+                let feq = w * (rho[i] + 3.0 * cmom + 4.5 * cpc - 1.5 * tr_pi[i]);
+                let fg = fs[i];
+                fd[i] = fg + omega * (feq - fg);
+                cu_l[i] = cu;
+                cb_l[i] = cb;
+            }
+        }
+        for a in 0..3 {
+            let gs = &src.g[(q * 3 + a) * lane + up..][..nx];
+            let gd = &mut sg[q * 3 + a][off..off + nx];
+            let (ba, ua) = (&s.b[a], &s.u[a]);
+            let (cu_l, cb_l) = (&s.cu, &s.cb);
+            for i in 0..nx {
+                let geq = w * (ba[i] + 3.0 * (cu_l[i] * ba[i] - cb_l[i] * ua[i]));
+                let gg = gs[i];
+                gd[i] = gg + omega_m * (geq - gg);
+            }
+        }
+    }
+}
+
+/// [`step`] with an explicit worker handle. Workers own disjoint z-slabs
+/// whose destination lane windows are split off up front, so every worker
+/// streams straight into `dst` — no intermediate rows, no commit pass —
+/// and the result is bitwise identical for every worker count.
 pub fn step_with(
     threads: &Threads,
     src: &Block,
@@ -118,6 +303,7 @@ pub fn step_with(
     let (nx, ny, nz) = (src.nx, src.ny, src.nz);
     let px = src.px();
     let pxy = src.px() * src.py();
+    let lane = src.padded_len();
 
     // Upwind gather offsets: the value streaming into x along direction i
     // comes from x − cᵢ.
@@ -128,35 +314,117 @@ pub fn step_with(
             + (C[i][2] as isize) * pxy as isize);
     }
 
-    // Split destination arrays into per-direction mutable borrows.
-    let mut dst_f: Vec<&mut Vec<f64>> = dst.f.iter_mut().collect();
-    let mut dst_g: Vec<&mut Vec<f64>> = dst.g.iter_mut().collect();
+    // z-slab decomposition. A slab owning interior planes [k_lo, k_hi)
+    // writes only flat-lane indices in [pxy·(k_lo+1), pxy·(k_hi+1)), so
+    // cutting every lane at those offsets yields disjoint &mut windows.
+    let nslabs = threads.workers().min(nz).max(1);
+    let mut cut = Vec::with_capacity(nslabs + 1);
+    cut.push(0usize);
+    for sidx in 1..nslabs {
+        cut.push(pxy * (sidx * nz / nslabs + 1));
+    }
+    cut.push(lane);
 
-    // Parallelize over z-slabs (the OpenMP axis of the original code);
-    // each (j,k) line runs the vectorizable x loop.
-    let lines: Vec<(usize, usize)> = (0..nz).flat_map(|k| (0..ny).map(move |j| (j, k))).collect();
+    let mut slab_f: Vec<Vec<&mut [f64]>> = (0..nslabs).map(|_| Vec::with_capacity(Q)).collect();
+    let mut rest = &mut dst.f[..];
+    for _q in 0..Q {
+        for (sidx, f_slabs) in slab_f.iter_mut().enumerate() {
+            let (head, tail) = rest.split_at_mut(cut[sidx + 1] - cut[sidx]);
+            f_slabs.push(head);
+            rest = tail;
+        }
+    }
+    let mut slab_g: Vec<Vec<&mut [f64]>> = (0..nslabs).map(|_| Vec::with_capacity(Q * 3)).collect();
+    let mut rest = &mut dst.g[..];
+    for _qa in 0..Q * 3 {
+        for (sidx, g_slabs) in slab_g.iter_mut().enumerate() {
+            let (head, tail) = rest.split_at_mut(cut[sidx + 1] - cut[sidx]);
+            g_slabs.push(head);
+            rest = tail;
+        }
+    }
 
-    // Collect per-line updates, then write back. To keep the hot loop
-    // allocation-free we process lines in parallel into freshly computed
-    // rows and then commit serially per direction.
-    let rows: Vec<(usize, Vec<[f64; Q]>, Vec<[[f64; 3]; Q]>)> =
-        threads.par_map(&lines, |&(j, k)| {
+    let tasks: Vec<_> = slab_f
+        .into_iter()
+        .zip(slab_g)
+        .enumerate()
+        .map(|(sidx, (mut sf, mut sg))| {
+            let k_lo = sidx * nz / nslabs;
+            let k_hi = (sidx + 1) * nz / nslabs;
+            let cut_s = cut[sidx];
+            move || {
+                let mut scratch = Scratch::new(nx);
+                for k in k_lo..k_hi {
+                    for j in 0..ny {
+                        let base = 1 + px * (j + 1) + pxy * (k + 1);
+                        collide_line(
+                            src,
+                            &offs,
+                            base,
+                            cut_s,
+                            omega,
+                            omega_m,
+                            &mut sf,
+                            &mut sg,
+                            &mut scratch,
+                        );
+                    }
+                }
+            }
+        })
+        .collect();
+    threads.par_tasks(tasks);
+
+    let points = (nx * ny * nz) as u64;
+    // One x-line per (j,k) pair is the vectorizable loop; totals derive
+    // from the lattice extents, never from worker chunking.
+    probe::count(
+        "lbmhd/collide+stream",
+        Counters {
+            flops: points * FLOPS_PER_POINT as u64,
+            unit_stride_bytes: points * BYTES_PER_POINT as u64,
+            vector_iters: points,
+            vector_loops: (ny * nz) as u64,
+            ..Default::default()
+        },
+    );
+
+    nx * ny * nz
+}
+
+/// The serial scalar reference: one point at a time, gather → moments →
+/// [`equilibrium`] → relax, exactly as the pre-SoA kernel computed it.
+/// The lane kernel in [`step_with`] must stay **bitwise identical** to
+/// this (the equivalence is pinned by tests); it exists as the oracle and
+/// is not instrumented.
+pub fn step_reference(src: &Block, dst: &mut Block, omega: f64, omega_m: f64) -> usize {
+    assert_eq!((src.nx, src.ny, src.nz), (dst.nx, dst.ny, dst.nz));
+    let (nx, ny, nz) = (src.nx, src.ny, src.nz);
+    let px = src.px();
+    let pxy = src.px() * src.py();
+    let lane = src.padded_len();
+
+    let mut offs = [0isize; Q];
+    for i in 0..Q {
+        offs[i] = -(C[i][0] as isize
+            + (C[i][1] as isize) * px as isize
+            + (C[i][2] as isize) * pxy as isize);
+    }
+
+    for k in 0..nz {
+        for j in 0..ny {
             let base = src.idx(1, j + 1, k + 1);
-            let mut frow = vec![[0.0f64; Q]; nx];
-            let mut grow = vec![[[0.0f64; 3]; Q]; nx];
             for i in 0..nx {
                 let ix = base + i;
-                // Gather post-stream values from upwind neighbors.
                 let mut fg = [0.0f64; Q];
                 let mut gg = [[0.0f64; 3]; Q];
                 for q in 0..Q {
                     let up = (ix as isize + offs[q]) as usize;
-                    fg[q] = src.f[q][up];
+                    fg[q] = src.f[q * lane + up];
                     for a in 0..3 {
-                        gg[q][a] = src.g[q * 3 + a][up];
+                        gg[q][a] = src.g[(q * 3 + a) * lane + up];
                     }
                 }
-                // Moments.
                 let mut rho = 0.0;
                 let mut mom = [0.0f64; 3];
                 let mut b = [0.0f64; 3];
@@ -171,40 +439,15 @@ pub fn step_with(
                 let u = [mom[0] * inv_rho, mom[1] * inv_rho, mom[2] * inv_rho];
                 let (feq, geq) = equilibrium(rho, u, b);
                 for q in 0..Q {
-                    frow[i][q] = fg[q] + omega * (feq[q] - fg[q]);
+                    dst.f[q * lane + ix] = fg[q] + omega * (feq[q] - fg[q]);
                     for a in 0..3 {
-                        grow[i][q][a] = gg[q][a] + omega_m * (geq[q][a] - gg[q][a]);
+                        dst.g[(q * 3 + a) * lane + ix] =
+                            gg[q][a] + omega_m * (geq[q][a] - gg[q][a]);
                     }
-                }
-            }
-            (base, frow, grow)
-        });
-
-    for (base, frow, grow) in rows {
-        for i in 0..nx {
-            for q in 0..Q {
-                dst_f[q][base + i] = frow[i][q];
-                for a in 0..3 {
-                    dst_g[q * 3 + a][base + i] = grow[i][q][a];
                 }
             }
         }
     }
-
-    let points = (nx * ny * nz) as u64;
-    // One x-line per (j,k) pair is the vectorizable loop; totals derive
-    // from the lattice extents, never from worker chunking.
-    probe::count(
-        "lbmhd/collide+stream",
-        Counters {
-            flops: points * FLOPS_PER_POINT as u64,
-            unit_stride_bytes: points * BYTES_PER_POINT as u64,
-            vector_iters: points,
-            vector_loops: lines.len() as u64,
-            ..Default::default()
-        },
-    );
-
     nx * ny * nz
 }
 
@@ -217,6 +460,7 @@ mod tests {
     fn wrap_halo(b: &mut Block) {
         let (px, py, pz) = (b.px(), b.py(), b.pz());
         let (nx, ny, nz) = (b.nx, b.ny, b.nz);
+        let lane = b.padded_len();
         let wrap = |v: usize, n: usize| -> usize {
             if v == 0 {
                 n
@@ -235,9 +479,10 @@ mod tests {
                             let (src_ix, dst_ix) =
                                 (wi + px * (wj + py * wk), i + px * (j + py * k));
                             if arr_ix < Q {
-                                b.f[arr_ix][dst_ix] = b.f[arr_ix][src_ix];
+                                b.f[arr_ix * lane + dst_ix] = b.f[arr_ix * lane + src_ix];
                             } else {
-                                b.g[arr_ix - Q][dst_ix] = b.g[arr_ix - Q][src_ix];
+                                let qa = arr_ix - Q;
+                                b.g[qa * lane + dst_ix] = b.g[qa * lane + src_ix];
                             }
                         }
                     }
@@ -352,13 +597,14 @@ mod tests {
         // must be exactly preserved (no element lost or duplicated).
         let n = 4;
         let mut src = Block::zeros(n, n, n);
+        let lane = src.padded_len();
         // Distinct values everywhere.
         for q in 0..Q {
             for k in 0..n {
                 for j in 0..n {
                     for i in 0..n {
                         let ix = src.interior_idx(i, j, k);
-                        src.f[q][ix] = (q * 1000 + i * 100 + j * 10 + k) as f64;
+                        src.f[q * lane + ix] = (q * 1000 + i * 100 + j * 10 + k) as f64;
                     }
                 }
             }
@@ -369,15 +615,65 @@ mod tests {
         for q in 0..Q {
             let mut a: Vec<f64> = (0..n)
                 .flat_map(|k| (0..n).flat_map(move |j| (0..n).map(move |i| (i, j, k))))
-                .map(|(i, j, k)| src.f[q][src.interior_idx(i, j, k)])
+                .map(|(i, j, k)| src.f[q * lane + src.interior_idx(i, j, k)])
                 .collect();
             let mut b: Vec<f64> = (0..n)
                 .flat_map(|k| (0..n).flat_map(move |j| (0..n).map(move |i| (i, j, k))))
-                .map(|(i, j, k)| dst.f[q][dst.interior_idx(i, j, k)])
+                .map(|(i, j, k)| dst.f[q * lane + dst.interior_idx(i, j, k)])
                 .collect();
             a.sort_by(f64::total_cmp);
             b.sort_by(f64::total_cmp);
             assert_eq!(a, b, "direction {q} not a permutation");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_is_bitwise_identical_to_scalar_reference() {
+        // The SoA lane kernel vs. the per-point scalar oracle, at several
+        // worker counts: every f64 bit must match (see module docs for why
+        // the chains are replicable at all).
+        let (nx, ny, nz) = (7, 5, 6);
+        let mut src = Block::zeros(nx, ny, nz);
+        set_equilibrium(&mut src, |i, j, k| {
+            let x = i as f64 / nx as f64 * std::f64::consts::TAU;
+            let y = j as f64 / ny as f64 * std::f64::consts::TAU;
+            let z = k as f64 / nz as f64 * std::f64::consts::TAU;
+            Moments {
+                rho: 1.0 + 0.05 * (x + 2.0 * y).sin() * z.cos(),
+                mom: [0.04 * (y + z).sin(), -0.03 * (x * 1.7).cos(), 0.02 * (z - x).sin()],
+                b: [0.05 * (z * 1.3).cos(), 0.04 * (x + y).sin(), -0.03 * (y * 0.7).cos()],
+            }
+        });
+        wrap_halo(&mut src);
+
+        let mut want = Block::zeros(nx, ny, nz);
+        step_reference(&src, &mut want, 1.9, 1.1);
+
+        for workers in [1, 2, 4] {
+            let mut got = Block::zeros(nx, ny, nz);
+            step_with(&Threads::new(workers), &src, &mut got, 1.9, 1.1);
+            let lane = src.padded_len();
+            for q in 0..Q {
+                for k in 0..nz {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            let ix = got.interior_idx(i, j, k);
+                            assert_eq!(
+                                got.f[q * lane + ix].to_bits(),
+                                want.f[q * lane + ix].to_bits(),
+                                "f q={q} ({i},{j},{k}) workers={workers}"
+                            );
+                            for a in 0..3 {
+                                assert_eq!(
+                                    got.g[(q * 3 + a) * lane + ix].to_bits(),
+                                    want.g[(q * 3 + a) * lane + ix].to_bits(),
+                                    "g q={q} a={a} ({i},{j},{k}) workers={workers}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -80,9 +80,10 @@ pub fn local_extent(n: usize, parts: usize, coord: usize) -> usize {
 /// halo in the other two dimensions) of every distribution into a buffer.
 fn pack_face(b: &Block, axis: usize, fixed: usize) -> Vec<f64> {
     let dims = [b.px(), b.py(), b.pz()];
+    let lane = b.padded_len();
     let (u, v) = other_axes(axis);
     let mut out = Vec::with_capacity((Q + 3 * Q) * dims[u] * dims[v]);
-    for arr in b.f.iter().chain(b.g.iter()) {
+    for arr in b.f.chunks_exact(lane).chain(b.g.chunks_exact(lane)) {
         for jv in 0..dims[v] {
             for ju in 0..dims[u] {
                 let mut c = [0usize; 3];
@@ -99,6 +100,7 @@ fn pack_face(b: &Block, axis: usize, fixed: usize) -> Vec<f64> {
 /// Unpacks a buffer produced by [`pack_face`] into the plane at `fixed`.
 fn unpack_face(b: &mut Block, axis: usize, fixed: usize, buf: &[f64]) {
     let dims = [b.px(), b.py(), b.pz()];
+    let lane = b.padded_len();
     let (u, v) = other_axes(axis);
     let mut it = buf.iter();
     let idx = |bb: &Block, c: [usize; 3]| bb.idx(c[0], c[1], c[2]);
@@ -112,9 +114,9 @@ fn unpack_face(b: &mut Block, axis: usize, fixed: usize, buf: &[f64]) {
                 let ix = idx(b, c);
                 let val = *it.next().expect("face buffer too short");
                 if arr_ix < Q {
-                    b.f[arr_ix][ix] = val;
+                    b.f[arr_ix * lane + ix] = val;
                 } else {
-                    b.g[arr_ix - Q][ix] = val;
+                    b.g[(arr_ix - Q) * lane + ix] = val;
                 }
             }
         }
@@ -220,7 +222,8 @@ mod tests {
     #[test]
     fn pack_unpack_round_trip() {
         let mut b = Block::zeros(3, 4, 5);
-        for (n, arr) in b.f.iter_mut().chain(b.g.iter_mut()).enumerate() {
+        let lane = b.padded_len();
+        for (n, arr) in b.f.chunks_exact_mut(lane).chain(b.g.chunks_exact_mut(lane)).enumerate() {
             for (i, v) in arr.iter_mut().enumerate() {
                 *v = (n * 10_000 + i) as f64;
             }
@@ -229,7 +232,7 @@ mod tests {
         let mut b2 = b.clone();
         // Wipe the plane, then restore it from the buffer.
         let snapshot = b.clone();
-        for arr in b2.f.iter_mut().chain(b2.g.iter_mut()) {
+        for arr in b2.f.chunks_exact_mut(lane).chain(b2.g.chunks_exact_mut(lane)) {
             for k in 0..b.pz() {
                 for i in 0..b.px() {
                     let ix = i + b.px() * (2 + b.py() * k);
@@ -238,11 +241,8 @@ mod tests {
             }
         }
         unpack_face(&mut b2, 1, 2, &buf);
-        for (a, bb) in
-            snapshot.f.iter().chain(snapshot.g.iter()).zip(b2.f.iter().chain(b2.g.iter()))
-        {
-            assert_eq!(a, bb);
-        }
+        assert_eq!(snapshot.f, b2.f);
+        assert_eq!(snapshot.g, b2.g);
     }
 
     #[test]
@@ -253,7 +253,7 @@ mod tests {
             for j in 0..3 {
                 for i in 0..3 {
                     let ix = b.interior_idx(i, j, k);
-                    b.f[0][ix] = (100 * i + 10 * j + k) as f64;
+                    b.f_lane_mut(0)[ix] = (100 * i + 10 * j + k) as f64;
                 }
             }
         }
@@ -265,8 +265,8 @@ mod tests {
             // Low-x halo must equal the high-x interior plane.
             for k in 0..3 {
                 for j in 0..3 {
-                    let halo = local.f[0][local.idx(0, j + 1, k + 1)];
-                    let want = local.f[0][local.interior_idx(2, j, k)];
+                    let halo = local.f_lane(0)[local.idx(0, j + 1, k + 1)];
+                    let want = local.f_lane(0)[local.interior_idx(2, j, k)];
                     assert_eq!(halo, want);
                 }
             }

@@ -22,6 +22,12 @@ trap 'rm -rf "$ART_DIR"' EXIT
 HEC_THREADS=2 ./target/release/repro all "$ART_DIR"
 ./target/release/repro diff baseline "$ART_DIR" --threshold=10
 
+# Loose parallel-sanity gate on the fresh artifacts: the 2-worker legs of
+# the lbmhd and dgemm harness cases must beat their serial legs at all
+# (speedup > 1.0). The gate self-skips with a note on 1-core machines,
+# where a 2-worker speedup above 1.0 is physically unattainable.
+./target/release/repro gate "$ART_DIR"
+
 # Smoke the serve subsystem end to end: ephemeral port, short closed-loop
 # load, zero error responses required, then a graceful stop (drains
 # in-flight requests before the process exits).

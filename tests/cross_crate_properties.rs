@@ -226,6 +226,7 @@ fn lbmhd_stream_is_a_permutation_when_collision_is_off() {
                 v
             }
         };
+        let lane = b.padded_len();
         for arr_ix in 0..(Q + Q * 3) {
             for k in 0..pz {
                 for j in 0..py {
@@ -234,9 +235,10 @@ fn lbmhd_stream_is_a_permutation_when_collision_is_off() {
                         if (wi, wj, wk) != (i, j, k) {
                             let (s, d) = (wi + px * (wj + py * wk), i + px * (j + py * k));
                             if arr_ix < Q {
-                                b.f[arr_ix][d] = b.f[arr_ix][s];
+                                b.f[arr_ix * lane + d] = b.f[arr_ix * lane + s];
                             } else {
-                                b.g[arr_ix - Q][d] = b.g[arr_ix - Q][s];
+                                let qa = arr_ix - Q;
+                                b.g[qa * lane + d] = b.g[qa * lane + s];
                             }
                         }
                     }
@@ -264,9 +266,9 @@ fn lbmhd_stream_is_a_permutation_when_collision_is_off() {
                 for j in 0..n {
                     for i in 0..n {
                         let ix = src.interior_idx(i, j, k);
-                        src.f[q][ix] = rng.range(-1.0, 1.0);
+                        src.f_lane_mut(q)[ix] = rng.range(-1.0, 1.0);
                         for a in 0..3 {
-                            src.g[q * 3 + a][ix] = rng.range(-1.0, 1.0);
+                            src.g_lane_mut(q, a)[ix] = rng.range(-1.0, 1.0);
                         }
                     }
                 }
@@ -278,14 +280,14 @@ fn lbmhd_stream_is_a_permutation_when_collision_is_off() {
         assert_eq!(updated, n * n * n);
         for q in 0..Q {
             assert_eq!(
-                sorted_interior(&src, &src.f[q]),
-                sorted_interior(&dst, &dst.f[q]),
+                sorted_interior(&src, src.f_lane(q)),
+                sorted_interior(&dst, dst.f_lane(q)),
                 "case {case}: f[{q}] multiset changed under pure streaming"
             );
             for a in 0..3 {
                 assert_eq!(
-                    sorted_interior(&src, &src.g[q * 3 + a]),
-                    sorted_interior(&dst, &dst.g[q * 3 + a]),
+                    sorted_interior(&src, src.g_lane(q, a)),
+                    sorted_interior(&dst, dst.g_lane(q, a)),
                     "case {case}: g[{q}][{a}] multiset changed under pure streaming"
                 );
             }
