@@ -121,7 +121,17 @@ fn classify(file: &str, path: &[String]) -> Class {
             "bench" | "secs" | "clients" | "errors" | "transport_errors" | "replicas" | "up" => {
                 Class::Exact
             }
+            // Open-loop provenance must match bit-for-bit (a baseline
+            // recorded at a different offered rate or seed is not
+            // comparable), and a drained target must report zero open
+            // connections — a leak here is a reactor bug, not noise.
+            "open_loop" | "seed" | "rate_offered_rps" | "connections_open_after_drain" => {
+                Class::Exact
+            }
             "throughput_rps" | "hit_rate" | "availability" => Class::PerfLowerBad,
+            // Falling short of the offered rate means the target (or
+            // the machine) got slower: gate it like a throughput drop.
+            "rate_achieved_rps" => Class::PerfLowerBad,
             "p50" | "p95" | "p99" => Class::PerfHigherBad,
             // url (ephemeral port), requests (duration-dependent),
             // retried_ok, failovers, hedges, cache traffic counts, mean/max.
@@ -539,6 +549,52 @@ mod tests {
         };
         assert_eq!(diff_dirs(&mk(100.0), &mk(200.0), DiffOptions::default()).findings.len(), 1);
         assert!(diff_dirs(&mk(200.0), &mk(100.0), DiffOptions::default()).findings.is_empty());
+    }
+
+    #[test]
+    fn open_loop_provenance_fields_gate_exactly() {
+        // A baseline recorded open-loop must be compared open-loop, at
+        // the same offered rate and seed — any drift is a finding even
+        // between different hosts (they are Exact, not Perf).
+        let mk = |open: bool, rate: f64, seed: f64, leak: f64| {
+            dir_of(&[(
+                "BENCH_serve.json",
+                doc(
+                    "h",
+                    &[
+                        ("open_loop", Json::Bool(open)),
+                        ("rate_offered_rps", Json::Num(rate)),
+                        ("seed", Json::Num(seed)),
+                        ("connections_open_after_drain", Json::Num(leak)),
+                    ],
+                ),
+            )])
+        };
+        let base = mk(true, 400.0, 5.0, 0.0);
+        assert!(diff_dirs(&base, &base, DiffOptions::default()).findings.is_empty());
+        for (label, other) in [
+            ("methodology flip", mk(false, 400.0, 5.0, 0.0)),
+            ("offered rate", mk(true, 300.0, 5.0, 0.0)),
+            ("schedule seed", mk(true, 400.0, 6.0, 0.0)),
+            ("connection leak", mk(true, 400.0, 5.0, 2.0)),
+        ] {
+            let r = diff_dirs(&base, &other, DiffOptions::default());
+            assert_eq!(r.findings.len(), 1, "{label} must be a finding");
+            assert_eq!(r.findings[0].kind, FindingKind::Drift, "{label}");
+        }
+    }
+
+    #[test]
+    fn achieved_rate_shortfall_gates_like_a_throughput_drop() {
+        let mk = |rps: f64| {
+            dir_of(&[("BENCH_serve.json", doc("h", &[("rate_achieved_rps", Json::Num(rps))]))])
+        };
+        let r = diff_dirs(&mk(400.0), &mk(300.0), DiffOptions::default());
+        assert_eq!(r.findings.len(), 1, "25% shortfall beats the 15% default");
+        assert_eq!(r.findings[0].kind, FindingKind::Regression);
+        assert_eq!(r.findings[0].path, "rate_achieved_rps");
+        assert!(diff_dirs(&mk(400.0), &mk(390.0), DiffOptions::default()).findings.is_empty());
+        assert!(diff_dirs(&mk(400.0), &mk(500.0), DiffOptions::default()).findings.is_empty());
     }
 
     #[test]

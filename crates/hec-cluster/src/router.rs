@@ -29,7 +29,7 @@
 //! | `/admin/kill?replica=i` | POST/GET | kill one replica |
 //! | `/admin/restart?replica=i` | POST/GET | restart one replica |
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -40,9 +40,10 @@ use hec_core::retry::Backoff;
 use hec_core::sync::Mutex;
 use hec_serve::client::{self, RetryPolicy};
 use hec_serve::metrics::Histogram;
+use hec_serve::reactor::{self, CoreConfig, CoreEvents, NetStats, ShutdownFlag};
 use hec_serve::request::{parse_query, Point};
 use hec_serve::server::{
-    error_body, read_request, write_response, Request, ServeConfig, RETRY_AFTER_SECS,
+    connections_doc, error_body, reactor_doc, Request, ServeConfig, RETRY_AFTER_SECS,
 };
 
 use crate::faults::{FaultKind, FaultPlan};
@@ -142,9 +143,9 @@ struct RouterState {
     retry: RetryPolicy,
     hedge: Option<Duration>,
     seed: u64,
-    addr: SocketAddr,
     started: Instant,
-    stop: AtomicBool,
+    stop: Arc<ShutdownFlag>,
+    net: Arc<NetStats>,
     queue: QueueGauge,
     /// Admitted routable requests — the fault-plan clock.
     admitted: AtomicU64,
@@ -392,6 +393,8 @@ impl RouterState {
             ("failovers", Json::Num(self.failovers.load(Ordering::Relaxed) as f64)),
             ("retries", Json::Num(self.retries.load(Ordering::Relaxed) as f64)),
             ("hedges", Json::Num(self.hedges.load(Ordering::Relaxed) as f64)),
+            ("connections", connections_doc(&self.net)),
+            ("reactor", reactor_doc(&self.net)),
             (
                 "cluster",
                 Json::obj([
@@ -434,8 +437,7 @@ fn route(req: &Request, state: &Arc<RouterState>) -> (u16, Vec<String>, String, 
         }
         ("GET", "/metrics") => (200, vec![], state.metrics_doc().emit_pretty(), true),
         ("GET" | "POST", "/shutdown") => {
-            state.stop.store(true, Ordering::SeqCst);
-            let _ = TcpStream::connect(state.addr);
+            state.stop.trigger();
             (200, vec![], Json::obj([("stopping", Json::Bool(true))]).emit_pretty(), true)
         }
         ("GET" | "POST", "/admin/kill") => match admin_target(&req.query) {
@@ -481,27 +483,22 @@ fn route(req: &Request, state: &Arc<RouterState>) -> (u16, Vec<String>, String, 
     }
 }
 
-fn handle_conn(mut stream: TcpStream, state: &Arc<RouterState>) {
-    let t0 = Instant::now();
-    state.requests.fetch_add(1, Ordering::Relaxed);
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            state.errors.fetch_add(1, Ordering::Relaxed);
-            write_response(&mut stream, 400, &[], &error_body(&e));
-            state.lat_local.record(t0.elapsed());
-            return;
-        }
-    };
-    let (status, extra, body, local) = route(&req, state);
-    if status >= 400 {
-        state.errors.fetch_add(1, Ordering::Relaxed);
+/// Maps the reactor's admission outcomes onto the router counters,
+/// matching the blocking-era accounting.
+struct RouterEvents(Arc<RouterState>);
+
+impl CoreEvents for RouterEvents {
+    fn on_request(&self) {
+        self.0.requests.fetch_add(1, Ordering::Relaxed);
     }
-    write_response(&mut stream, status, &extra, &body);
-    if local {
-        state.lat_local.record(t0.elapsed());
-    } else {
-        state.lat_route.record(t0.elapsed());
+    fn on_reject(&self) {
+        self.0.requests.fetch_add(1, Ordering::Relaxed);
+        self.0.rejected.fetch_add(1, Ordering::Relaxed);
+        self.0.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_bad_request(&self) {
+        self.0.requests.fetch_add(1, Ordering::Relaxed);
+        self.0.errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -512,16 +509,15 @@ fn handle_conn(mut stream: TcpStream, state: &Arc<RouterState>) {
 /// A running cluster: router frontend plus its replica set. Stop it
 /// with [`Cluster::shutdown`] then [`Cluster::join`].
 pub struct Cluster {
-    addr: SocketAddr,
     state: Arc<RouterState>,
-    acceptor: std::thread::JoinHandle<()>,
+    core: reactor::Core,
     checker: std::thread::JoinHandle<()>,
 }
 
 impl Cluster {
     /// The router's bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.core.addr()
     }
 
     /// Number of replica slots.
@@ -552,18 +548,17 @@ impl Cluster {
     /// Requests a graceful stop: the router drains admitted requests,
     /// then the replicas drain theirs.
     pub fn shutdown(&self) {
-        self.state.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.state.stop.trigger();
     }
 
     /// True once a stop has been requested.
     pub fn stopping(&self) -> bool {
-        self.state.stop.load(Ordering::SeqCst)
+        self.state.stop.stopping()
     }
 
     /// Waits for the router and every replica to finish draining.
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        self.core.join();
         let _ = self.checker.join();
     }
 }
@@ -574,9 +569,9 @@ impl Cluster {
 pub fn start(cfg: ClusterConfig) -> std::io::Result<Cluster> {
     let replicas = Arc::new(ReplicaSet::start(cfg.replicas, cfg.replica.clone())?);
     let health = Arc::new(Health::new(replicas.len()));
-    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
-    let addr = listener.local_addr()?;
     let pool = WorkerPool::new(Threads::new(cfg.workers), cfg.queue);
+    let stop = Arc::new(ShutdownFlag::new());
+    let net = Arc::new(NetStats::new());
     let planned_faults = cfg.faults.remaining();
     let state = Arc::new(RouterState {
         ring: Ring::new(replicas.len(), cfg.vnodes, cfg.replication),
@@ -587,9 +582,9 @@ pub fn start(cfg: ClusterConfig) -> std::io::Result<Cluster> {
         retry: cfg.retry,
         hedge: cfg.hedge_ms.map(Duration::from_millis),
         seed: cfg.seed,
-        addr,
         started: Instant::now(),
-        stop: AtomicBool::new(false),
+        stop: Arc::clone(&stop),
+        net: Arc::clone(&net),
         queue: pool.queue_gauge(),
         admitted: AtomicU64::new(0),
         requests: AtomicU64::new(0),
@@ -604,44 +599,48 @@ pub fn start(cfg: ClusterConfig) -> std::io::Result<Cluster> {
         lat_local: Histogram::new(),
     });
 
-    let stop_flag = Arc::new(AtomicBool::new(false));
+    let checker_stop = Arc::new(AtomicBool::new(false));
     let checker = health::spawn_checker(
         Arc::clone(&replicas),
         Arc::clone(&health),
-        Arc::clone(&stop_flag),
+        Arc::clone(&checker_stop),
         cfg.health,
     );
 
-    let accept_state = Arc::clone(&state);
-    let acceptor = std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            if accept_state.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            let reject_handle = stream.try_clone();
-            let job_state = Arc::clone(&accept_state);
-            if pool.try_submit(move || handle_conn(stream, &job_state)).is_err() {
-                accept_state.requests.fetch_add(1, Ordering::Relaxed);
-                accept_state.rejected.fetch_add(1, Ordering::Relaxed);
-                accept_state.errors.fetch_add(1, Ordering::Relaxed);
-                if let Ok(mut s) = reject_handle {
-                    write_response(
-                        &mut s,
-                        503,
-                        &[format!("Retry-After: {RETRY_AFTER_SECS}")],
-                        &error_body("router admission queue full; retry"),
-                    );
-                }
-            }
+    let handler_state = Arc::clone(&state);
+    let handler: Arc<reactor::Handler> = Arc::new(move |req: &Request, t0: Instant| {
+        let (status, extra, body, local) = route(req, &handler_state);
+        if status >= 400 {
+            handler_state.errors.fetch_add(1, Ordering::Relaxed);
         }
-        // Drain the router's in-flight requests first (they may still
-        // need live replicas), then stop the checker and the replicas.
-        pool.shutdown();
-        stop_flag.store(true, Ordering::SeqCst);
-        accept_state.replicas.shutdown_all();
+        if local {
+            handler_state.lat_local.record(t0.elapsed());
+        } else {
+            handler_state.lat_route.record(t0.elapsed());
+        }
+        (status, extra, body)
     });
-    Ok(Cluster { addr, state, acceptor, checker })
+    let events = Arc::new(RouterEvents(Arc::clone(&state)));
+    // After the reactor drains the router's in-flight requests (they may
+    // still need live replicas), stop the checker and the replicas.
+    let drain_replicas = Arc::clone(&replicas);
+    let on_drained = Box::new(move || {
+        checker_stop.store(true, Ordering::SeqCst);
+        drain_replicas.shutdown_all();
+    });
+    let core = reactor::start_core(
+        CoreConfig {
+            port: cfg.port,
+            reject_body: error_body("router admission queue full; retry"),
+        },
+        pool,
+        net,
+        events,
+        stop,
+        handler,
+        Some(on_drained),
+    )?;
+    Ok(Cluster { state, core, checker })
 }
 
 #[cfg(test)]

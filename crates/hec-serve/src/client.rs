@@ -1,9 +1,22 @@
 //! Minimal HTTP/1.1 client for the load generator, the cluster router,
 //! and the e2e tests.
 //!
-//! Matches the server's dialect exactly: one request per connection,
-//! `Connection: close`, bodies delimited by `Content-Length` (with
-//! read-to-EOF as the fallback). Only `http://host:port/path` URLs.
+//! Matches the server's dialect: requests ask for `Connection:
+//! keep-alive`, bodies are delimited by `Content-Length` (with
+//! read-to-EOF as the close-framed fallback). Only `http://host:port/`
+//! URLs.
+//!
+//! Connection reuse is per thread: each thread keeps at most one open
+//! connection per authority (`host:port`) in a thread-local pool, so the
+//! router's workers, the load generator's clients, and the health
+//! checker all reuse transparently with zero locking. A pooled
+//! connection can go stale — the server may have closed it since (a
+//! replica was killed, an idle timeout fired, a keep-alive limit hit).
+//! When a *reused* connection fails before yielding a single response
+//! byte with a connection-shaped error (EOF, reset, broken pipe), the
+//! request is retried once on a fresh connection; a fresh connection's
+//! failure, or a timeout, surfaces immediately — a timed-out request may
+//! have executed, and masking that would double-execute it.
 //!
 //! On top of the bare [`http_get`]/[`http_post`] pair this module adds
 //! the resilience layer the cluster tier depends on:
@@ -17,7 +30,9 @@
 //!   whichever responds first (safe here because every replica serves
 //!   byte-identical responses).
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -72,27 +87,60 @@ fn connect(authority: &str, timeout: Duration) -> std::io::Result<TcpStream> {
     TcpStream::connect_timeout(&addr, timeout)
 }
 
-fn request(
+thread_local! {
+    /// One kept-alive connection per authority, per thread. Dropped with
+    /// the thread, which closes the sockets — a load generator's senders
+    /// release their connections just by exiting.
+    static KEEPALIVE: RefCell<HashMap<String, TcpStream>> = RefCell::new(HashMap::new());
+}
+
+fn take_pooled(authority: &str) -> Option<TcpStream> {
+    KEEPALIVE.with(|p| p.borrow_mut().remove(authority))
+}
+
+fn park_pooled(authority: &str, stream: TcpStream) {
+    KEEPALIVE.with(|p| {
+        p.borrow_mut().insert(authority.to_string(), stream);
+    });
+}
+
+/// A failure mode where the request provably never reached a handler:
+/// the peer hung up before sending one response byte. Only these make a
+/// pooled-connection retry safe for non-idempotent requests too.
+fn stale_connection_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::UnexpectedEof
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected
+    )
+}
+
+/// Writes one request and reads one response on an established stream.
+/// Returns the response and whether the connection is reusable (the
+/// server answered `Connection: keep-alive` with length-framed body).
+fn exchange(
+    stream: &mut TcpStream,
     method: &str,
-    url: &str,
+    authority: &str,
+    path: &str,
     body: Option<&str>,
-    timeout: Duration,
-) -> std::io::Result<Response> {
-    let (authority, path) = split_url(url)?;
-    let mut stream = connect(&authority, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
+) -> std::io::Result<(Response, bool)> {
     let body = body.unwrap_or("");
     let req = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {authority}\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
         body.len(),
     );
     stream.write_all(req.as_bytes())?;
     stream.flush()?;
 
-    let mut reader = BufReader::new(stream);
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "connection closed"));
+    }
     let status: u16 =
         status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
             std::io::Error::new(
@@ -116,19 +164,57 @@ fn request(
             headers.push((k, v));
         }
     }
-    let body = match content_length {
+    let (body, framed) = match content_length {
         Some(len) => {
             let mut buf = vec![0u8; len];
             reader.read_exact(&mut buf)?;
-            String::from_utf8_lossy(&buf).into_owned()
+            (String::from_utf8_lossy(&buf).into_owned(), true)
         }
         None => {
             let mut buf = Vec::new();
             reader.read_to_end(&mut buf)?;
-            String::from_utf8_lossy(&buf).into_owned()
+            (String::from_utf8_lossy(&buf).into_owned(), false)
         }
     };
-    Ok(Response { status, headers, body })
+    let response = Response { status, headers, body };
+    let reusable = framed
+        && response.header("Connection").is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+    Ok((response, reusable))
+}
+
+fn request(
+    method: &str,
+    url: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> std::io::Result<Response> {
+    let (authority, path) = split_url(url)?;
+    // Reuse a kept-alive connection when one is parked; if the server
+    // half-closed it since, fall through to a fresh connect exactly once.
+    if let Some(mut stream) = take_pooled(&authority) {
+        let ready = stream.set_read_timeout(Some(timeout)).is_ok()
+            && stream.set_write_timeout(Some(timeout)).is_ok();
+        if ready {
+            match exchange(&mut stream, method, &authority, &path, body) {
+                Ok((response, reusable)) => {
+                    if reusable {
+                        park_pooled(&authority, stream);
+                    }
+                    return Ok(response);
+                }
+                Err(e) if stale_connection_error(&e) => {} // reconnect below
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let mut stream = connect(&authority, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let (response, reusable) = exchange(&mut stream, method, &authority, &path, body)?;
+    if reusable {
+        park_pooled(&authority, stream);
+    }
+    Ok(response)
 }
 
 /// Issues a GET and reads the full response.
@@ -395,5 +481,101 @@ mod tests {
     #[test]
     fn hedged_get_rejects_empty_url_list() {
         assert!(hedged_get(&[], Duration::from_millis(1), Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn one_thread_rides_one_keepalive_connection() {
+        // Plain GETs and retried GETs from a single thread must all
+        // reuse the same pooled connection; the server's accepted-count
+        // gauge is the witness.
+        let s = crate::server::start(crate::server::ServeConfig {
+            port: 0,
+            workers: 2,
+            queue: 8,
+            cache_capacity: 64,
+        })
+        .unwrap();
+        let base = format!("http://{}", s.addr());
+        for _ in 0..3 {
+            assert_eq!(http_get(&format!("{base}/healthz")).unwrap().status, 200);
+        }
+        let out = get_with_retry(&format!("{base}/healthz"), &RetryPolicy::default(), 11).unwrap();
+        assert_eq!(out.response.status, 200);
+        assert_eq!(out.attempts, 1);
+        let m = http_get(&format!("{base}/metrics")).unwrap();
+        let doc = hec_core::json::Json::parse(&m.body).unwrap();
+        let accepted = doc
+            .get("connections")
+            .and_then(|c| c.get("accepted"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert_eq!(accepted, 1.0, "five requests on one thread must ride one connection");
+        let keepalive = doc
+            .get("connections")
+            .and_then(|c| c.get("keepalive_requests"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        // The gauge is bumped at completion delivery, *after* the handler
+        // snapshots /metrics — so the metrics request itself is not yet
+        // counted. Requests 2..=4 are.
+        assert!(keepalive >= 3.0, "requests beyond the first are keep-alive wins: {keepalive}");
+        s.shutdown();
+        s.join();
+    }
+
+    #[test]
+    fn stale_pooled_connection_falls_back_to_reconnect() {
+        // Mock server: each accepted connection answers exactly one
+        // keep-alive response and then closes — a server half-closing a
+        // kept-alive connection mid-burst. The client must absorb the
+        // stale-connection failure by reconnecting once, invisibly.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0usize;
+            for stream in listener.incoming().take(2) {
+                let mut s = stream.unwrap();
+                accepted += 1;
+                let mut buf = [0u8; 2048];
+                let _ = std::io::Read::read(&mut s, &mut buf);
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                );
+            }
+            accepted
+        });
+        let url = format!("http://{addr}/x");
+        let r1 = http_get(&url).unwrap();
+        assert_eq!((r1.status, r1.body.as_str()), (200, "ok"));
+        // The pooled connection is now half-closed server-side; the
+        // second request must still succeed, on a fresh connection.
+        let r2 = http_get(&url).unwrap();
+        assert_eq!((r2.status, r2.body.as_str()), (200, "ok"));
+        assert_eq!(server.join().unwrap(), 2, "fallback must have dialed a second connection");
+    }
+
+    #[test]
+    fn close_framed_responses_are_not_pooled() {
+        // A server answering `Connection: close` (or without length
+        // framing) must not leave its stream in the pool.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0usize;
+            for stream in listener.incoming().take(2) {
+                let mut s = stream.unwrap();
+                accepted += 1;
+                let mut buf = [0u8; 2048];
+                let _ = std::io::Read::read(&mut s, &mut buf);
+                let _ = s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok",
+                );
+            }
+            accepted
+        });
+        let url = format!("http://{addr}/x");
+        assert_eq!(http_get(&url).unwrap().status, 200);
+        assert_eq!(http_get(&url).unwrap().status, 200);
+        assert_eq!(server.join().unwrap(), 2, "close-framed connections must not be reused");
     }
 }

@@ -17,12 +17,18 @@
 //!   requests share work.
 //! * [`batch`] — leader/follower micro-batching: concurrent single-point
 //!   misses for the same app coalesce into one batched evaluation.
-//! * [`server`] — the listener: bounded worker pool with admission queue
-//!   (queue-full ⇒ 503 + `Retry-After`), `/metrics`, graceful shutdown
-//!   that drains in-flight requests.
+//! * [`reactor`] — the event-driven serving core: one thread
+//!   multiplexing every connection over `poll(2)` (std-only platform
+//!   shim), per-connection state machines with HTTP/1.1 keep-alive and
+//!   pipelining, dispatching parsed requests to the bounded worker pool.
+//!   The server and the `hec-cluster` router both ride it.
+//! * [`server`] — the listener: reactor-driven connections over a
+//!   bounded worker pool (queue-full ⇒ 503 + `Retry-After`), `/metrics`,
+//!   graceful shutdown that drains in-flight requests.
 //! * [`client`] — the minimal HTTP/1.1 client the load generator, the
-//!   cluster router, and the e2e tests use, with seeded-backoff retries
-//!   (`Retry-After`-aware) and tail-latency request hedging.
+//!   cluster router, and the e2e tests use, with per-thread keep-alive
+//!   connection reuse, seeded-backoff retries (`Retry-After`-aware) and
+//!   tail-latency request hedging.
 //! * [`metrics`] — per-endpoint latency histograms and meter export.
 //!
 //! Determinism contract: responses are emitted from ordered JSON objects
@@ -35,5 +41,6 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod metrics;
+pub mod reactor;
 pub mod request;
 pub mod server;

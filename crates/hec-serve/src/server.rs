@@ -1,28 +1,30 @@
-//! The HTTP/1.1 listener: bounded worker pool, admission control,
-//! metrics, graceful shutdown (DESIGN §8).
+//! The HTTP/1.1 listener: reactor-driven connections, bounded worker
+//! pool, admission control, metrics, graceful shutdown (DESIGN §8, §11).
 //!
-//! One acceptor thread owns a [`hec_core::pool::WorkerPool`]. Every
-//! accepted connection is submitted to the pool's bounded admission
-//! queue; when the queue is full the acceptor answers `503` with
-//! `Retry-After` inline and closes — load never turns into unbounded
-//! memory. Shutdown (the `/shutdown` endpoint or [`Server::shutdown`])
-//! stops admissions, drains every already-admitted connection, then
-//! joins the workers: in-flight requests always complete.
+//! One reactor thread ([`crate::reactor`]) owns the listening socket and
+//! every accepted connection, multiplexed over `poll(2)`; parsed
+//! requests are dispatched to a [`hec_core::pool::WorkerPool`] through
+//! its bounded admission queue. When the queue is full the reactor
+//! answers `503` with `Retry-After` inline — load never turns into
+//! unbounded memory or unbounded threads. Connections are keep-alive by
+//! default (HTTP/1.1 semantics, pipelining included), so one connection
+//! serves many requests. Shutdown (the `/shutdown` endpoint or
+//! [`Server::shutdown`]) stops admissions, completes every dispatched
+//! request, flushes its response, then joins the workers: in-flight
+//! requests always complete.
 //!
-//! Protocol surface (all responses `Connection: close`, JSON bodies):
+//! Protocol surface (JSON bodies; `Connection: keep-alive` unless the
+//! client opts out or the server is stopping):
 //!
 //! | endpoint | method | purpose |
 //! |---|---|---|
 //! | `/healthz` | GET | liveness |
 //! | `/eval` | GET query / POST JSON | one prediction point |
 //! | `/sweep?app=<app>` | GET | a full Table 3–6 row set |
-//! | `/metrics` | GET | meters, cache, queue, latency histograms |
+//! | `/metrics` | GET | meters, cache, queue, connections, latency |
 //! | `/shutdown` | POST/GET | graceful stop |
 //! | `/debug/sleep?ms=N` | GET | a deliberately slow request (tests) |
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -34,7 +36,10 @@ use crate::batch::Batcher;
 use crate::cache::ShardedLru;
 use crate::engine::{self, AppId, Cell};
 use crate::metrics::Histogram;
+use crate::reactor::{self, CoreConfig, CoreEvents, NetStats, ShutdownFlag};
 use crate::request::{parse_query, Point};
+
+pub use crate::reactor::Request;
 
 /// Largest request head+body the server reads; larger requests get 400.
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
@@ -50,7 +55,7 @@ pub struct ServeConfig {
     pub port: u16,
     /// Worker threads (default: the `HEC_THREADS` policy).
     pub workers: usize,
-    /// Admission-queue bound (connections waiting for a worker).
+    /// Admission-queue bound (requests waiting for a worker).
     pub queue: usize,
     /// Point-cache capacity (entries).
     pub cache_capacity: usize,
@@ -86,11 +91,11 @@ impl Default for ServeConfig {
 
 /// Shared service state: cache, batcher, meters, histograms.
 pub struct ServeState {
-    cache: ShardedLru,
+    pub(crate) cache: ShardedLru,
     batcher: Batcher,
     queue: QueueGauge,
-    stop: AtomicBool,
-    addr: SocketAddr,
+    stop: Arc<ShutdownFlag>,
+    net: Arc<NetStats>,
     started: Instant,
     requests: probe::Meter,
     errors: probe::Meter,
@@ -114,7 +119,8 @@ impl ServeState {
     }
 
     /// The `/metrics` document: process-wide meters, this server's
-    /// cache/queue state, and per-endpoint latency histograms.
+    /// cache/queue/connection state, and per-endpoint latency
+    /// histograms.
     fn metrics_doc(&self) -> Json {
         let meters =
             Json::Obj(probe::meters().into_iter().map(|(k, v)| (k, Json::Num(v as f64))).collect());
@@ -146,6 +152,8 @@ impl ServeState {
             ("requests", Json::Num(self.requests.get() as f64)),
             ("errors", Json::Num(self.errors.get() as f64)),
             ("rejected", Json::Num(self.rejected.get() as f64)),
+            ("connections", connections_doc(&self.net)),
+            ("reactor", reactor_doc(&self.net)),
             (
                 "cache",
                 Json::obj([
@@ -190,6 +198,26 @@ impl ServeState {
             ("meters", meters),
         ])
     }
+}
+
+/// The `connections` section shared by server and router `/metrics`.
+/// `open` excludes the connection carrying the observation itself (see
+/// [`NetStats::open_excluding_observer`]), so a drained service reads 0.
+pub fn connections_doc(net: &NetStats) -> Json {
+    Json::obj([
+        ("open", Json::Num(net.open_excluding_observer() as f64)),
+        ("accepted", Json::Num(net.accepted() as f64)),
+        ("max_open", Json::Num(net.max_open() as f64)),
+        ("keepalive_requests", Json::Num(net.keepalive_requests() as f64)),
+    ])
+}
+
+/// The `reactor` section shared by server and router `/metrics`.
+pub fn reactor_doc(net: &NetStats) -> Json {
+    Json::obj([
+        ("iterations", Json::Num(net.iterations() as f64)),
+        ("requests_parsed", Json::Num(net.requests() as f64)),
+    ])
 }
 
 /// Renders one evaluated point as the `/eval` response document.
@@ -271,85 +299,6 @@ pub fn sweep_response_body(app: AppId, eval: impl FnMut(&Point) -> Option<Cell>)
     sweep_doc(app, eval).emit_pretty()
 }
 
-// ---------------------------------------------------------------------
-// HTTP plumbing — public: the cluster router (`hec-cluster`) speaks the
-// same one-request-per-connection dialect and reuses these directly.
-// ---------------------------------------------------------------------
-
-/// One parsed HTTP request: method, split target, raw body.
-pub struct Request {
-    /// Request method (`GET`, `POST`, …).
-    pub method: String,
-    /// Path component of the target, always starting with `/`.
-    pub path: String,
-    /// Query component (after `?`), possibly empty, undecoded.
-    pub query: String,
-    /// Request body as text (delimited by `Content-Length`).
-    pub body: String,
-}
-
-impl Request {
-    /// The original request target: path plus `?query` when non-empty.
-    pub fn target(&self) -> String {
-        if self.query.is_empty() {
-            self.path.clone()
-        } else {
-            format!("{}?{}", self.path, self.query)
-        }
-    }
-}
-
-/// Reads one request from `stream`, bounded by [`MAX_REQUEST_BYTES`].
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
-    let mut line = String::new();
-    reader
-        .by_ref()
-        .take(MAX_REQUEST_BYTES as u64)
-        .read_line(&mut line)
-        .map_err(|e| e.to_string())?;
-    let mut parts = line.split_whitespace();
-    let method = parts.next().unwrap_or("").to_string();
-    let target = parts.next().unwrap_or("").to_string();
-    if method.is_empty() || !target.starts_with('/') {
-        return Err("malformed request line".into());
-    }
-    let (path, query) = match target.split_once('?') {
-        Some((p, q)) => (p.to_string(), q.to_string()),
-        None => (target, String::new()),
-    };
-    // Headers: only Content-Length matters to us.
-    let mut content_length = 0usize;
-    let mut head_bytes = line.len();
-    loop {
-        let mut h = String::new();
-        let n = reader
-            .by_ref()
-            .take((MAX_REQUEST_BYTES - head_bytes.min(MAX_REQUEST_BYTES)) as u64)
-            .read_line(&mut h)
-            .map_err(|e| e.to_string())?;
-        head_bytes += n;
-        if n == 0 || h == "\r\n" || h == "\n" {
-            break;
-        }
-        if head_bytes >= MAX_REQUEST_BYTES {
-            return Err("request head too large".into());
-        }
-        if let Some((name, value)) = h.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length =
-                    value.trim().parse().map_err(|_| "bad Content-Length".to_string())?;
-            }
-        }
-    }
-    if content_length > MAX_REQUEST_BYTES {
-        return Err("request body too large".into());
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
-    Ok(Request { method, path, query, body: String::from_utf8_lossy(&body).into_owned() })
-}
-
 /// Canonical reason phrase for the status codes this dialect uses.
 pub fn status_text(code: u16) -> &'static str {
     match code {
@@ -362,57 +311,9 @@ pub fn status_text(code: u16) -> &'static str {
     }
 }
 
-/// Writes one `Connection: close` JSON response onto `stream`.
-pub fn write_response(stream: &mut TcpStream, code: u16, extra_headers: &[String], body: &str) {
-    let head = format!(
-        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n{}\r\n",
-        status_text(code),
-        body.len(),
-        extra_headers.iter().map(|h| format!("{h}\r\n")).collect::<String>(),
-    );
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body.as_bytes());
-    let _ = stream.flush();
-}
-
 /// The standard one-field error document.
 pub fn error_body(msg: &str) -> String {
     Json::obj([("error", Json::Str(msg.to_string()))]).emit_pretty()
-}
-
-/// Writes the queue-full rejection: `503` + `Retry-After`, constant-size
-/// body, no allocation-heavy work — this runs on the acceptor thread.
-fn write_503(stream: &mut TcpStream) {
-    write_response(
-        stream,
-        503,
-        &[format!("Retry-After: {RETRY_AFTER_SECS}")],
-        &error_body("admission queue full; retry"),
-    );
-}
-
-fn handle_conn(mut stream: TcpStream, state: &Arc<ServeState>) {
-    let t0 = Instant::now();
-    state.requests.incr();
-    let req = match read_request(&mut stream) {
-        Ok(r) => r,
-        Err(e) => {
-            state.errors.incr();
-            write_response(&mut stream, 400, &[], &error_body(&e));
-            state.lat_other.record(t0.elapsed());
-            return;
-        }
-    };
-    let (code, body) = route(&req, state);
-    if code >= 400 {
-        state.errors.incr();
-    }
-    write_response(&mut stream, code, &[], &body);
-    match req.path.as_str() {
-        "/eval" => state.lat_eval.record(t0.elapsed()),
-        "/sweep" => state.lat_sweep.record(t0.elapsed()),
-        _ => state.lat_other.record(t0.elapsed()),
-    }
 }
 
 fn route(req: &Request, state: &Arc<ServeState>) -> (u16, String) {
@@ -438,10 +339,7 @@ fn route(req: &Request, state: &Arc<ServeState>) -> (u16, String) {
         }
         ("GET", "/metrics") => (200, state.metrics_doc().emit_pretty()),
         ("GET" | "POST", "/shutdown") => {
-            state.stop.store(true, Ordering::SeqCst);
-            // Wake the acceptor: it is blocked in accept(); a throwaway
-            // connection makes it re-check the stop flag.
-            let _ = TcpStream::connect(state.addr);
+            state.stop.trigger();
             (200, Json::obj([("stopping", Json::Bool(true))]).emit_pretty())
         }
         ("GET", "/debug/sleep") => {
@@ -465,51 +363,69 @@ fn route(req: &Request, state: &Arc<ServeState>) -> (u16, String) {
 // Lifecycle
 // ---------------------------------------------------------------------
 
+/// Maps the reactor's admission outcomes onto the serve meters, matching
+/// the blocking-era accounting: a rejection or parse failure still
+/// counts as a request and an error.
+struct ServeEvents(Arc<ServeState>);
+
+impl CoreEvents for ServeEvents {
+    fn on_request(&self) {
+        self.0.requests.incr();
+    }
+    fn on_reject(&self) {
+        self.0.requests.incr();
+        self.0.rejected.incr();
+        self.0.errors.incr();
+    }
+    fn on_bad_request(&self) {
+        self.0.requests.incr();
+        self.0.errors.incr();
+    }
+}
+
 /// A running server; dropping it does *not* stop it — call
 /// [`Server::shutdown`] then [`Server::join`].
 pub struct Server {
-    addr: SocketAddr,
-    state: Arc<ServeState>,
-    acceptor: std::thread::JoinHandle<()>,
+    pub(crate) state: Arc<ServeState>,
+    core: reactor::Core,
 }
 
 impl Server {
     /// The bound address (`127.0.0.1` with the actual port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.core.addr()
     }
 
-    /// Requests a graceful stop: no new admissions; queued and in-flight
-    /// requests complete. Safe to call more than once.
+    /// Requests a graceful stop: no new admissions; dispatched requests
+    /// complete and their responses flush. Safe to call more than once.
     pub fn shutdown(&self) {
-        self.state.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.state.stop.trigger();
     }
 
-    /// Waits for the acceptor (and so the drained worker pool) to exit.
+    /// Waits for the reactor (and so the drained worker pool) to exit.
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        self.core.join();
     }
 
     /// True once a stop has been requested.
     pub fn stopping(&self) -> bool {
-        self.state.stop.load(Ordering::SeqCst)
+        self.state.stop.stopping()
     }
 }
 
 /// Starts a server on `127.0.0.1:cfg.port`. Returns once the socket is
-/// bound and accepting; the acceptor and its workers run until a
+/// bound and accepting; the reactor and its workers run until a
 /// shutdown is requested.
 pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
-    let listener = TcpListener::bind(("127.0.0.1", cfg.port))?;
-    let addr = listener.local_addr()?;
     let pool = WorkerPool::new(Threads::new(cfg.workers), cfg.queue);
+    let stop = Arc::new(ShutdownFlag::new());
+    let net = Arc::new(NetStats::new());
     let state = Arc::new(ServeState {
         cache: ShardedLru::new(cfg.cache_capacity),
         batcher: Batcher::new(),
         queue: pool.queue_gauge(),
-        stop: AtomicBool::new(false),
-        addr,
+        stop: Arc::clone(&stop),
+        net: Arc::clone(&net),
         started: Instant::now(),
         requests: probe::meter("serve.requests"),
         errors: probe::meter("serve.errors"),
@@ -518,32 +434,31 @@ pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         lat_sweep: Histogram::new(),
         lat_other: Histogram::new(),
     });
-    let accept_state = Arc::clone(&state);
-    let acceptor = std::thread::spawn(move || {
-        for conn in listener.incoming() {
-            if accept_state.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = conn else { continue };
-            // Duplicate the socket handle up front: if admission fails,
-            // the job closure (owning `stream`) is dropped, and the
-            // duplicate still lets us answer 503 + Retry-After inline.
-            let reject_handle = stream.try_clone();
-            let job_state = Arc::clone(&accept_state);
-            if pool.try_submit(move || handle_conn(stream, &job_state)).is_err() {
-                accept_state.requests.incr();
-                accept_state.rejected.incr();
-                accept_state.errors.incr();
-                if let Ok(mut s) = reject_handle {
-                    write_503(&mut s);
-                }
-            }
+    let handler_state = Arc::clone(&state);
+    let handler: Arc<reactor::Handler> = Arc::new(move |req: &Request, t0: Instant| {
+        let (code, body) = route(req, &handler_state);
+        if code >= 400 {
+            handler_state.errors.incr();
         }
-        // Drain: every admitted connection is served before the workers
-        // exit, so shutdown never drops in-flight work.
-        pool.shutdown();
+        // t0 is the parse instant, so queue wait is part of the latency.
+        match req.path.as_str() {
+            "/eval" => handler_state.lat_eval.record(t0.elapsed()),
+            "/sweep" => handler_state.lat_sweep.record(t0.elapsed()),
+            _ => handler_state.lat_other.record(t0.elapsed()),
+        }
+        (code, Vec::new(), body)
     });
-    Ok(Server { addr, state, acceptor })
+    let events = Arc::new(ServeEvents(Arc::clone(&state)));
+    let core = reactor::start_core(
+        CoreConfig { port: cfg.port, reject_body: error_body("admission queue full; retry") },
+        pool,
+        net,
+        events,
+        stop,
+        handler,
+        None,
+    )?;
+    Ok(Server { state, core })
 }
 
 #[cfg(test)]
@@ -626,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn metrics_reports_cache_queue_and_latency() {
+    fn metrics_reports_cache_queue_connections_and_latency() {
         let s = test_server();
         let base = format!("http://{}", s.addr());
         let _ = client::http_get(&format!("{base}/eval?app=paratec&platform=sx8&procs=128"));
@@ -640,6 +555,9 @@ mod tests {
         assert!(doc.get("queue").and_then(|q| q.get("capacity")).is_some());
         assert!(doc.get("latency").and_then(|l| l.get("eval")).is_some());
         assert!(doc.get("meters").is_some());
+        let conns = doc.get("connections").expect("connections section");
+        assert!(conns.get("accepted").unwrap().as_f64().unwrap() >= 1.0);
+        assert!(doc.get("reactor").and_then(|r| r.get("iterations")).is_some());
         s.shutdown();
         s.join();
     }

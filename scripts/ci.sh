@@ -18,7 +18,8 @@ cargo fmt --check
 # the gate. Perf comparison auto-skips when the host fingerprint in the
 # baseline's metadata does not match this machine.
 ART_DIR=$(mktemp -d)
-trap 'rm -rf "$ART_DIR"' EXIT
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$ART_DIR" "$SMOKE_DIR"' EXIT
 HEC_THREADS=2 ./target/release/repro all "$ART_DIR"
 ./target/release/repro diff baseline "$ART_DIR" --threshold=10
 
@@ -28,9 +29,12 @@ HEC_THREADS=2 ./target/release/repro all "$ART_DIR"
 # where a 2-worker speedup above 1.0 is physically unattainable.
 ./target/release/repro gate "$ART_DIR"
 
-# Smoke the serve subsystem end to end: ephemeral port, short closed-loop
-# load, zero error responses required, then a graceful stop (drains
-# in-flight requests before the process exits).
+# Smoke the serve subsystem end to end: ephemeral port, short open-loop
+# load at a fixed seeded rate (coordinated-omission-free latency), zero
+# error responses required, then a graceful stop (drains in-flight
+# requests before the process exits). The BENCH artifact must be
+# stamped open-loop, and the reactor's connection gauge must read zero
+# once the load generator's keep-alive connections have drained.
 SERVE_LOG=$(mktemp)
 HEC_THREADS=2 ./target/release/repro serve > "$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
@@ -40,9 +44,12 @@ for _ in 1 2 3 4 5 6 7 8 9 10; do
     sleep 1
 done
 [ -n "$SERVE_URL" ] || { echo "ci: serve did not come up"; cat "$SERVE_LOG"; exit 1; }
-# loadgen itself exits nonzero on any error response (after retries), so
-# no artifact grep is needed here.
-HEC_THREADS=2 ./target/release/repro loadgen "$SERVE_URL" 2 4
+# loadgen itself exits nonzero on any error response (after retries).
+( cd "$SMOKE_DIR" && HEC_THREADS=2 "$OLDPWD/target/release/repro" loadgen "$SERVE_URL" 2 4 --rate=400 )
+grep -q '"open_loop": true' "$SMOKE_DIR/BENCH_serve.json" \
+    || { echo "ci: serve smoke was not open-loop"; exit 1; }
+grep -q '"connections_open_after_drain": 0' "$SMOKE_DIR/BENCH_serve.json" \
+    || { echo "ci: serve connections did not drain to zero"; exit 1; }
 ./target/release/repro stop "$SERVE_URL"
 wait "$SERVE_PID"
 grep -q "drained and stopped" "$SERVE_LOG" || { echo "ci: serve did not stop gracefully"; exit 1; }
@@ -63,7 +70,11 @@ done
 [ -n "$CLUSTER_URL" ] || { echo "ci: cluster did not come up"; cat "$CLUSTER_LOG"; exit 1; }
 ( sleep 1; ./target/release/repro kill "$CLUSTER_URL" 0 ) &
 KILL_PID=$!
-HEC_THREADS=2 ./target/release/repro loadgen "$CLUSTER_URL" 3 4
+( cd "$SMOKE_DIR" && HEC_THREADS=2 "$OLDPWD/target/release/repro" loadgen "$CLUSTER_URL" 3 4 --rate=400 )
+grep -q '"open_loop": true' "$SMOKE_DIR/BENCH_cluster.json" \
+    || { echo "ci: cluster smoke was not open-loop"; exit 1; }
+grep -q '"connections_open_after_drain": 0' "$SMOKE_DIR/BENCH_cluster.json" \
+    || { echo "ci: cluster connections did not drain to zero"; exit 1; }
 wait "$KILL_PID"
 ./target/release/repro stop "$CLUSTER_URL"
 wait "$CLUSTER_PID"
