@@ -117,7 +117,19 @@ fn classify(file: &str, path: &[String]) -> Class {
         if path.iter().any(|s| s == "by_class") {
             return if named_leaf == "errors" { Class::Exact } else { Class::Ignore };
         }
+        // Autoscaler decisions are a pure function of the seeded run
+        // (admitted-request ticks, deterministic thresholds): both the
+        // up and down counts must reproduce bit-for-bit.
+        if path.iter().any(|s| s == "autoscale_decisions") {
+            return Class::Exact;
+        }
         return match named_leaf {
+            // Elasticity: the seeded churn plan fixes how many
+            // membership events fire and exactly which tracked keys
+            // change owners; cache warming is best-effort, so fewer
+            // successful warms gates like a perf regression.
+            "membership_events" | "keys_moved" => Class::Exact,
+            "warm_hits" => Class::PerfLowerBad,
             "bench" | "secs" | "clients" | "errors" | "transport_errors" | "replicas" | "up" => {
                 Class::Exact
             }

@@ -408,6 +408,14 @@ pub fn run_into(
     if is_cluster {
         let failovers = delta(&["failovers"]);
         let hedges = delta(&["hedges"]);
+        // Elasticity deltas: how much the membership changed *during
+        // this run*. All four are deterministic under a seeded plan, so
+        // `repro diff` can hold them bit-for-bit.
+        let membership_events = delta(&["membership", "events"]);
+        let keys_moved = delta(&["membership", "handoff", "keys_moved"]);
+        let warm_hits = delta(&["membership", "handoff", "warm_hits"]);
+        let autoscale_up = delta(&["membership", "autoscale", "up"]);
+        let autoscale_down = delta(&["membership", "autoscale", "down"]);
         let summary = ClusterSummary {
             replicas: after
                 .as_ref()
@@ -425,10 +433,14 @@ pub fn run_into(
             failovers,
             retried_ok,
             availability,
+            membership_events,
+            keys_moved,
+            autoscale: (autoscale_up, autoscale_down),
         };
         print!("{}", cluster_table("cluster availability", &summary).render());
         eprintln!(
             "cluster: {failovers} failovers, {hedges} hedges, {retried_ok} retried-then-ok; \
+             {membership_events} membership events ({keys_moved} keys moved); \
              {errors} errors; availability {:.3}%",
             availability * 100.0
         );
@@ -443,6 +455,18 @@ pub fn run_into(
                 ("availability", Json::Num(availability)),
             ]),
         ));
+        fields.extend([
+            ("membership_events", Json::Num(membership_events as f64)),
+            ("keys_moved", Json::Num(keys_moved as f64)),
+            ("warm_hits", Json::Num(warm_hits as f64)),
+            (
+                "autoscale_decisions",
+                Json::obj([
+                    ("up", Json::Num(autoscale_up as f64)),
+                    ("down", Json::Num(autoscale_down as f64)),
+                ]),
+            ),
+        ]);
     } else {
         let (hits, misses, evictions) = (
             delta(&["cache", "hits"]),

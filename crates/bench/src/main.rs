@@ -140,6 +140,12 @@ const COMMANDS: &[Cmd] = &[
         run: |args| kill(args),
     },
     Cmd {
+        name: "scale",
+        args: "<url> <up|down>",
+        help: "scale a router up one replica, or drain its highest member",
+        run: |args| scale(args),
+    },
+    Cmd {
         name: "stop",
         args: "<url>",
         help: "gracefully stop a serve or cluster instance (drains in-flight requests)",
@@ -260,6 +266,77 @@ fn kill(args: &[String]) {
         Err(e) => {
             eprintln!("could not reach {url}: {e}");
             std::process::exit(1);
+        }
+    }
+}
+
+fn scale(args: &[String]) {
+    let (Some(url), Some(dir)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: repro scale <url> <up|down>");
+        std::process::exit(2);
+    };
+    let base = url.trim_end_matches('/').to_string();
+    match dir.as_str() {
+        "up" => match hec_serve::client::http_post(&format!("{base}/admin/scale-up"), "") {
+            Ok(r) if r.status == 200 => print!("{}", r.body),
+            Ok(r) => {
+                eprintln!("scale-up failed with status {}: {}", r.status, r.body.trim());
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("could not reach {base}: {e}");
+                std::process::exit(1);
+            }
+        },
+        "down" => {
+            // Drain the highest current member — the mirror of what
+            // the autoscaler's down decision picks.
+            let metrics = match hec_serve::client::http_get(&format!("{base}/metrics")) {
+                Ok(r) if r.status == 200 => r.body,
+                Ok(r) => {
+                    eprintln!("metrics fetch failed with status {}", r.status);
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("could not reach {base}: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let doc = match hec_core::json::Json::parse(&metrics) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("bad metrics document: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let victim = doc
+                .get("cluster")
+                .and_then(|c| c.get("replicas"))
+                .and_then(|r| r.as_arr())
+                .into_iter()
+                .flatten()
+                .filter_map(|r| r.get("index").and_then(|i| i.as_f64()))
+                .fold(None::<f64>, |acc, i| Some(acc.map_or(i, |a: f64| a.max(i))));
+            let Some(victim) = victim else {
+                eprintln!("no cluster.replicas in {base}/metrics — not a router?");
+                std::process::exit(1);
+            };
+            let drain = format!("{base}/admin/drain/{}", victim as usize);
+            match hec_serve::client::http_post(&drain, "") {
+                Ok(r) if r.status == 200 => print!("{}", r.body),
+                Ok(r) => {
+                    eprintln!("drain failed with status {}: {}", r.status, r.body.trim());
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("could not reach {drain}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("scale wants 'up' or 'down', got {other:?}");
+            std::process::exit(2);
         }
     }
 }

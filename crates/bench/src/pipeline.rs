@@ -115,7 +115,27 @@ pub fn run_all(dir: &str) -> Result<(), String> {
     }
 
     println!("\n== cluster load test ({replicas} replicas, {secs}s x {clients} clients) ==");
-    let cfg = hec_cluster::ClusterConfig::from_env(replicas, 0);
+    let mut cfg = hec_cluster::ClusterConfig::from_env(replicas, 0);
+    // The cluster phase exercises elasticity deterministically: two
+    // seeded stall bursts push the inter-tick p99 over the autoscaler's
+    // threshold (one scale-up), the calm remainder of the run drains it
+    // back (one scale-down), and min/max pin the decisions to exactly
+    // +1/−1 so `repro diff` can gate them bit-for-bit. Router workers
+    // are pinned to 2 — not `HEC_CLUSTER_WORKERS` — because the queue
+    // and latency signals the autoscaler samples must not depend on
+    // the host's core count.
+    cfg.workers = 2;
+    cfg.autoscale = Some(hec_cluster::AutoscaleConfig::bounded(replicas, replicas + 1));
+    cfg.faults = hec_cluster::FaultPlan::with(
+        [40u64, 41, 52, 53]
+            .into_iter()
+            .map(|at| hec_cluster::FaultEvent {
+                at_request: at,
+                replica: 0,
+                kind: hec_cluster::FaultKind::StallMs(250),
+            })
+            .collect(),
+    );
     let cluster = hec_cluster::start(cfg).map_err(|e| format!("cannot start hec-cluster: {e}"))?;
     let errors =
         crate::loadgen::run_into(&w, &format!("http://{}", cluster.addr()), secs, clients, open);

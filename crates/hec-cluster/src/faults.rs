@@ -22,6 +22,12 @@
 //! * `SlowReplyMs` — delay relaying the reply, simulating a straggler
 //!   replica (the paper's scaling tables are exactly about stragglers at
 //!   high P).
+//! * `AddAt` — scale the cluster up by one replica (membership churn
+//!   pinned to an admitted-request index; the `replica` field is
+//!   ignored, the new member takes the next slot ID).
+//! * `DrainAt` — gracefully drain the target replica out of the ring
+//!   (epoch flip, cache handoff, then stop), the elastic counterpart of
+//!   `Kill` under the same byte-identity contract.
 
 use hec_core::rng::Rng;
 
@@ -36,6 +42,10 @@ pub enum FaultKind {
     DropConn,
     /// Sleep this many milliseconds before relaying the reply.
     SlowReplyMs(u64),
+    /// Scale up: add one replica to the ring (target field ignored).
+    AddAt,
+    /// Scale down: gracefully drain the target replica out of the ring.
+    DrainAt,
 }
 
 /// One scheduled fault.
@@ -71,6 +81,23 @@ impl FaultPlan {
     /// Convenience: kill `replica` when request `at_request` is admitted.
     pub fn kill_at(replica: usize, at_request: u64) -> FaultPlan {
         FaultPlan::with(vec![FaultEvent { at_request, replica, kind: FaultKind::Kill }])
+    }
+
+    /// Convenience: one scale-up event at `at_request`.
+    pub fn add_at(at_request: u64) -> FaultPlan {
+        FaultPlan::with(vec![FaultEvent { at_request, replica: 0, kind: FaultKind::AddAt }])
+    }
+
+    /// Convenience: drain `replica` when request `at_request` is admitted.
+    pub fn drain_at(replica: usize, at_request: u64) -> FaultPlan {
+        FaultPlan::with(vec![FaultEvent { at_request, replica, kind: FaultKind::DrainAt }])
+    }
+
+    /// Merges two plans into one schedule (events re-sorted by index).
+    pub fn merged(self, other: FaultPlan) -> FaultPlan {
+        let mut events = self.events;
+        events.extend(other.events);
+        FaultPlan::with(events)
     }
 
     /// A seeded plan: `events` faults over request indices
@@ -179,6 +206,17 @@ mod tests {
         assert_eq!(plan.remaining(), 1);
         assert_eq!(plan.take_at(9).len(), 1);
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn churn_constructors_pin_membership_events() {
+        let plan =
+            FaultPlan::add_at(24).merged(FaultPlan::add_at(32)).merged(FaultPlan::drain_at(1, 44));
+        assert_eq!(plan.remaining(), 3);
+        let evs = plan.events();
+        assert_eq!(evs[0], FaultEvent { at_request: 24, replica: 0, kind: FaultKind::AddAt });
+        assert_eq!(evs[1], FaultEvent { at_request: 32, replica: 0, kind: FaultKind::AddAt });
+        assert_eq!(evs[2], FaultEvent { at_request: 44, replica: 1, kind: FaultKind::DrainAt });
     }
 
     #[test]

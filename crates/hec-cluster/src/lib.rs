@@ -9,6 +9,14 @@
 //! and a deterministic fault plan ([`faults`]) can kill, stall,
 //! drop-connect, or slow replicas at fixed admitted-request indices.
 //!
+//! Membership is live ([`membership`]): versioned ring epochs with
+//! `/admin/scale-up` and `/admin/drain/<i>` endpoints, bounded
+//! rebalancing (only keys whose owners changed between epochs move),
+//! cache handoff that warms the new owners before cutover, and an
+//! optional autoscaler driven by the router's queue gauge and
+//! inter-tick p99 — all keyed to the same admitted-request clock as
+//! the fault plan, so churn runs are bit-for-bit reproducible.
+//!
 //! The contract under faults (DESIGN.md §9): with R owners per key and
 //! at most R − 1 of them killed, every admitted request returns a
 //! response *byte-identical* to the single-process engine's — the
@@ -28,12 +36,14 @@
 
 pub mod faults;
 pub mod health;
+pub mod membership;
 pub mod replica;
 pub mod ring;
 pub mod router;
 
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use health::{Health, HealthConfig};
+pub use membership::{AutoscaleConfig, Elasticity, Epoch, Membership, MembershipEvent};
 pub use replica::ReplicaSet;
-pub use ring::{stable_hash, Ring, DEFAULT_VNODES};
+pub use ring::{owners_diff, stable_hash, OwnersDiff, Ring, DEFAULT_VNODES};
 pub use router::{start, Cluster, ClusterConfig, DEFAULT_REPLICATION};

@@ -1,0 +1,706 @@
+//! Live membership: ring epochs, bounded rebalancing, cache handoff,
+//! and the metrics-driven autoscaler.
+//!
+//! The cluster's member set is no longer fixed at start. Membership is
+//! versioned as **epochs**: an immutable `(version, members, ring)`
+//! triple behind one atomic swap. The router reads the current epoch
+//! per request; a scale-up or drain builds the next epoch off to the
+//! side, warms the caches it is about to make authoritative, and only
+//! then installs it — requests in flight keep the epoch they started
+//! with, so there is never a moment with no owner for a key.
+//!
+//! Rebalancing is **bounded by construction**: vnode positions hash the
+//! member ID, not the member count, so members shared between two
+//! epochs keep their arcs and only keys whose owner set actually
+//! changed move ([`crate::ring::owners_diff`] computes that set
+//! exactly; the property test in `ring.rs` holds the moved fraction to
+//! the theoretical vnode share). The handoff walks the router's
+//! tracked keys, exports each moved key's cache entry from its old
+//! primary via `POST /cache/export`, and installs it on the new
+//! primary via `POST /cache/import` — or re-primes with a plain GET
+//! when the entry is not exportable. `handoff.keys_moved` counts the
+//! owner-changed keys; `handoff.warm_hits` counts successful warms.
+//!
+//! The **autoscaler** is deliberately boring: every `tick_every`-th
+//! admitted request it samples the router's queue depth and the p99 of
+//! the latency observed *since the previous tick* (bucket deltas, not
+//! lifetime quantiles — a long-lived histogram never forgets a burst).
+//! Sustained busy ticks scale up by one, sustained idle ticks drain
+//! the highest member, bounded by `[min, max]` with a cooldown between
+//! decisions. Because ticks are keyed to the admitted-request index —
+//! the same clock the fault plan uses — a seeded run makes the *same
+//! decisions at the same indices* every time, which is what lets the
+//! bench pipeline gate `autoscale_decisions` bit-for-bit.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use hec_core::json::Json;
+use hec_core::sync::Mutex;
+use hec_serve::client;
+use hec_serve::metrics::Histogram;
+
+use crate::health::Health;
+use crate::replica::ReplicaSet;
+use crate::ring::{owners_diff, stable_hash, Ring};
+
+/// Tracked-key bound: the handoff set is the keys actually routed, and
+/// the canonical workload has a few dozen — this cap only guards
+/// against an adversarial stream of unique keys.
+pub const MAX_TRACKED_KEYS: usize = 4096;
+
+/// One immutable membership version. The router holds an `Arc<Epoch>`
+/// per request; installs swap the Arc, never mutate it.
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    /// Monotonic version, starting at 0 for the boot membership.
+    pub version: u64,
+    /// Current member IDs, sorted ascending.
+    pub members: Vec<usize>,
+    /// The ring over exactly those members.
+    pub ring: Ring,
+}
+
+/// One membership change, for the `/metrics` log.
+#[derive(Clone, Debug)]
+pub struct MembershipEvent {
+    /// Epoch version this change installed.
+    pub epoch: u64,
+    /// `"add"` or `"drain"`.
+    pub action: &'static str,
+    /// The member that joined or left.
+    pub replica: usize,
+    /// Tracked keys whose owner set changed at this flip.
+    pub keys_moved: u64,
+    /// Keys successfully warmed on their new primary before cutover.
+    pub warm_hits: u64,
+}
+
+/// Autoscaler policy. All thresholds are deterministic functions of
+/// the admitted-request clock and the sampled gauges — no wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct AutoscaleConfig {
+    /// Sample every this many admitted requests (ticks fire on indices
+    /// `tick_every − 1, 2·tick_every − 1, …`).
+    pub tick_every: u64,
+    /// A tick with queue depth at or above this is busy.
+    pub up_queue_depth: usize,
+    /// A tick whose inter-tick p99 is at or above this (µs) is busy.
+    pub up_p99_us: u64,
+    /// Consecutive busy ticks before scaling up by one.
+    pub up_ticks: u32,
+    /// A tick with queue depth at or below this (and a calm p99) is
+    /// idle.
+    pub down_queue_depth: usize,
+    /// Consecutive idle ticks before draining one member.
+    pub down_ticks: u32,
+    /// Ticks to ignore after any decision (lets the new membership's
+    /// signal settle before judging it).
+    pub cooldown_ticks: u32,
+    /// Never drain below this many members.
+    pub min: usize,
+    /// Never grow above this many members.
+    pub max: usize,
+}
+
+impl AutoscaleConfig {
+    /// The default policy over a fixed size window: eager on the way up
+    /// (2 busy ticks), reluctant on the way down (12 idle ticks).
+    pub fn bounded(min: usize, max: usize) -> AutoscaleConfig {
+        AutoscaleConfig {
+            tick_every: 16,
+            up_queue_depth: 8,
+            up_p99_us: 200_000,
+            up_ticks: 2,
+            down_queue_depth: 2,
+            down_ticks: 12,
+            cooldown_ticks: 4,
+            min: min.max(1),
+            max: max.max(min.max(1)),
+        }
+    }
+}
+
+/// The versioned membership state: current epoch plus change counters.
+pub struct Membership {
+    epoch: Mutex<Arc<Epoch>>,
+    vnodes: usize,
+    replication: usize,
+    added_total: AtomicU64,
+    removed_total: AtomicU64,
+    keys_moved: AtomicU64,
+    warm_hits: AtomicU64,
+    events: Mutex<Vec<MembershipEvent>>,
+}
+
+impl Membership {
+    /// Epoch 0 over the boot members.
+    pub fn new(members: Vec<usize>, vnodes: usize, replication: usize) -> Membership {
+        let ring = Ring::over(&members, vnodes, replication);
+        Membership {
+            epoch: Mutex::new(Arc::new(Epoch { version: 0, members, ring })),
+            vnodes,
+            replication,
+            added_total: AtomicU64::new(0),
+            removed_total: AtomicU64::new(0),
+            keys_moved: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The current epoch (cheap: one Arc clone).
+    pub fn current(&self) -> Arc<Epoch> {
+        Arc::clone(&self.epoch.lock())
+    }
+
+    /// Installs the next epoch over `members` and returns its version.
+    fn install(&self, members: Vec<usize>, ring: Ring) -> u64 {
+        let mut g = self.epoch.lock();
+        let version = g.version + 1;
+        *g = Arc::new(Epoch { version, members, ring });
+        version
+    }
+
+    /// Membership changes applied so far (the `/metrics` events count).
+    pub fn events_len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Members added over the cluster's lifetime.
+    pub fn added_total(&self) -> u64 {
+        self.added_total.load(Ordering::Relaxed)
+    }
+
+    /// Members drained over the cluster's lifetime.
+    pub fn removed_total(&self) -> u64 {
+        self.removed_total.load(Ordering::Relaxed)
+    }
+
+    /// Tracked keys rerouted across all epoch flips.
+    pub fn keys_moved(&self) -> u64 {
+        self.keys_moved.load(Ordering::Relaxed)
+    }
+
+    /// Keys successfully warmed on their new primary.
+    pub fn warm_hits(&self) -> u64 {
+        self.warm_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// What a scale-up installed.
+#[derive(Clone, Debug)]
+pub struct ScaleUp {
+    /// The new member's ID.
+    pub added: usize,
+    /// The new member's serve address.
+    pub addr: std::net::SocketAddr,
+    /// Epoch version that now includes it.
+    pub epoch: u64,
+    /// Tracked keys whose owners changed at this flip.
+    pub keys_moved: u64,
+    /// Keys warmed onto their new primaries before cutover.
+    pub warm_hits: u64,
+}
+
+/// What a drain removed.
+#[derive(Clone, Debug)]
+pub struct Drain {
+    /// Epoch version that excludes the drained member.
+    pub epoch: u64,
+    /// Tracked keys whose owners changed at this flip.
+    pub keys_moved: u64,
+    /// Keys warmed onto their new primaries before cutover.
+    pub warm_hits: u64,
+    /// Connections still open when the drained reactor exited (a
+    /// graceful drain reads 0).
+    pub connections_open: u64,
+}
+
+struct AutoState {
+    up_streak: u32,
+    down_streak: u32,
+    cooldown: u32,
+    /// Previous tick's latency bucket snapshot, for inter-tick deltas.
+    prev_buckets: Vec<(u64, u64)>,
+}
+
+enum Decision {
+    Up,
+    Down(usize),
+}
+
+/// The elasticity engine: owns the [`Membership`], performs scale-up
+/// and drain against the replica set, warms caches across epoch flips,
+/// and runs the autoscaler policy.
+pub struct Elasticity {
+    /// The versioned membership (public: the router reads epochs).
+    pub membership: Membership,
+    replicas: Arc<ReplicaSet>,
+    health: Arc<Health>,
+    /// Ring key → a representative request target for re-priming.
+    tracked: Mutex<BTreeMap<String, String>>,
+    /// Per-member forwarded counters, grown on scale-up.
+    forwarded: Mutex<Vec<Arc<AtomicU64>>>,
+    autoscale: Option<AutoscaleConfig>,
+    auto_state: Mutex<AutoState>,
+    auto_up: AtomicU64,
+    auto_down: AtomicU64,
+    /// Serializes membership changes (admin + autoscaler may race).
+    change: Mutex<()>,
+    /// Per-warm HTTP timeout (the router's forward timeout).
+    timeout: Duration,
+}
+
+impl Elasticity {
+    /// Elasticity over the boot members `0..n`.
+    pub fn new(
+        replicas: Arc<ReplicaSet>,
+        health: Arc<Health>,
+        vnodes: usize,
+        replication: usize,
+        autoscale: Option<AutoscaleConfig>,
+        timeout: Duration,
+    ) -> Elasticity {
+        let n = replicas.len();
+        Elasticity {
+            membership: Membership::new((0..n).collect(), vnodes, replication),
+            replicas,
+            health,
+            tracked: Mutex::new(BTreeMap::new()),
+            forwarded: Mutex::new((0..n).map(|_| Arc::new(AtomicU64::new(0))).collect()),
+            autoscale,
+            auto_state: Mutex::new(AutoState {
+                up_streak: 0,
+                down_streak: 0,
+                cooldown: 0,
+                prev_buckets: Vec::new(),
+            }),
+            auto_up: AtomicU64::new(0),
+            auto_down: AtomicU64::new(0),
+            change: Mutex::new(()),
+            timeout,
+        }
+    }
+
+    /// Remembers a routed key and a target that can re-prime it.
+    pub fn track(&self, key: &str, target: &str) {
+        let mut g = self.tracked.lock();
+        if g.len() < MAX_TRACKED_KEYS && !g.contains_key(key) {
+            g.insert(key.to_string(), target.to_string());
+        }
+    }
+
+    /// Counts a completed forward to member `r`.
+    pub fn note_forward(&self, r: usize) {
+        if let Some(c) = self.forwarded.lock().get(r).cloned() {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Forwards completed by member `r`.
+    pub fn forwarded(&self, r: usize) -> u64 {
+        self.forwarded.lock().get(r).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
+    }
+
+    /// Autoscaler decisions so far as `(up, down)`.
+    pub fn autoscale_decisions(&self) -> (u64, u64) {
+        (self.auto_up.load(Ordering::Relaxed), self.auto_down.load(Ordering::Relaxed))
+    }
+
+    /// Adds one replica, warms the keys it now owns, installs the next
+    /// epoch. The router keeps serving throughout.
+    pub fn scale_up(&self) -> std::io::Result<ScaleUp> {
+        let _g = self.change.lock();
+        let (added, addr) = self.replicas.add()?;
+        self.forwarded.lock().push(Arc::new(AtomicU64::new(0)));
+        self.health.add();
+        let old = self.membership.current();
+        let mut members = old.members.clone();
+        members.push(added);
+        members.sort_unstable();
+        let ring = Ring::over(&members, self.membership.vnodes, self.membership.replication);
+        let (keys_moved, warm_hits) = self.handoff(&old.ring, &ring);
+        let epoch = self.membership.install(members, ring);
+        self.membership.added_total.fetch_add(1, Ordering::Relaxed);
+        self.membership.events.lock().push(MembershipEvent {
+            epoch,
+            action: "add",
+            replica: added,
+            keys_moved,
+            warm_hits,
+        });
+        Ok(ScaleUp { added, addr, epoch, keys_moved, warm_hits })
+    }
+
+    /// Drains member `id` out of the ring: flip the epoch to exclude
+    /// it, warm the keys it loses onto their new primaries *while it is
+    /// still serving*, then stop it gracefully. Returns the epoch and
+    /// the drained reactor's final open-connection count.
+    pub fn drain(&self, id: usize) -> std::io::Result<Drain> {
+        let _g = self.change.lock();
+        let old = self.membership.current();
+        if !old.members.contains(&id) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("replica {id} is not a current member"),
+            ));
+        }
+        if old.members.len() <= 1 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "cannot drain the last member",
+            ));
+        }
+        let members: Vec<usize> = old.members.iter().copied().filter(|&m| m != id).collect();
+        let ring = Ring::over(&members, self.membership.vnodes, self.membership.replication);
+        // Handoff first: the outgoing member is still up, so its cache
+        // entries are exportable and re-primes cannot land on it.
+        let (keys_moved, warm_hits) = self.handoff(&old.ring, &ring);
+        let epoch = self.membership.install(members, ring);
+        self.health.retire(id);
+        let connections_open = self.replicas.retire(id).unwrap_or(0);
+        self.membership.removed_total.fetch_add(1, Ordering::Relaxed);
+        self.membership.events.lock().push(MembershipEvent {
+            epoch,
+            action: "drain",
+            replica: id,
+            keys_moved,
+            warm_hits,
+        });
+        Ok(Drain { epoch, keys_moved, warm_hits, connections_open })
+    }
+
+    /// Migrates every tracked key whose owner set changes between the
+    /// two rings. Returns `(keys_moved, warm_hits)`.
+    fn handoff(&self, old: &Ring, new: &Ring) -> (u64, u64) {
+        let diff = owners_diff(old, new);
+        if diff.is_empty() {
+            return (0, 0);
+        }
+        let snapshot: Vec<(String, String)> =
+            self.tracked.lock().iter().map(|(k, t)| (k.clone(), t.clone())).collect();
+        let (mut moved, mut warm) = (0u64, 0u64);
+        for (key, target) in snapshot {
+            if !diff.covers(stable_hash(key.as_bytes())) {
+                continue;
+            }
+            moved += 1;
+            let (old_primary, new_primary) = (old.primary(&key), new.primary(&key));
+            if old_primary == new_primary {
+                // A secondary changed but the authoritative copy did
+                // not move; nothing to warm.
+                continue;
+            }
+            if self.warm_key(&key, &target, old_primary, new_primary) {
+                warm += 1;
+            }
+        }
+        self.membership.keys_moved.fetch_add(moved, Ordering::Relaxed);
+        self.membership.warm_hits.fetch_add(warm, Ordering::Relaxed);
+        (moved, warm)
+    }
+
+    /// Warms one key onto its new primary: export/import the cache
+    /// entry when the key is a canonical point key, otherwise re-prime
+    /// by replaying the tracked GET target against the new primary.
+    fn warm_key(&self, key: &str, target: &str, old_primary: usize, new_primary: usize) -> bool {
+        let Some(new_addr) = self.replicas.addr(new_primary) else {
+            return false;
+        };
+        let exportable = !key.starts_with('/') && !key.starts_with("sweep|");
+        if exportable {
+            if let Some(old_addr) = self.replicas.addr(old_primary) {
+                let req = Json::obj([("keys", Json::Arr(vec![Json::Str(key.to_string())]))])
+                    .emit_pretty();
+                let exported = client::http_post_timeout(
+                    &format!("http://{old_addr}/cache/export"),
+                    &req,
+                    self.timeout,
+                );
+                if let Ok(resp) = exported {
+                    let has_entries = resp.status == 200
+                        && Json::parse(&resp.body)
+                            .ok()
+                            .and_then(|d| {
+                                d.get("entries").and_then(|e| e.as_arr().map(|a| a.len()))
+                            })
+                            .is_some_and(|n| n > 0);
+                    if has_entries {
+                        let imported = client::http_post_timeout(
+                            &format!("http://{new_addr}/cache/import"),
+                            &resp.body,
+                            self.timeout,
+                        );
+                        if imported.map(|r| r.status == 200).unwrap_or(false) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        // Not exportable (sweeps, raw targets) or the old primary had
+        // no entry: re-prime by evaluating on the new owner directly.
+        client::http_get_timeout(&format!("http://{new_addr}{target}"), self.timeout)
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    }
+
+    /// One autoscaler observation, keyed to the admitted-request index.
+    /// Called on every admitted request; only tick indices do work.
+    pub fn autoscale_tick(&self, index: u64, queue_depth: usize, hist: &Histogram) {
+        let Some(cfg) = self.autoscale else { return };
+        if (index + 1) % cfg.tick_every != 0 {
+            return;
+        }
+        let decision = {
+            let mut st = self.auto_state.lock();
+            let cur = hist.nonzero_buckets();
+            let p99 = delta_p99(&st.prev_buckets, &cur);
+            st.prev_buckets = cur;
+            let busy = queue_depth >= cfg.up_queue_depth || p99 >= cfg.up_p99_us;
+            let idle = queue_depth <= cfg.down_queue_depth && p99 < cfg.up_p99_us;
+            // Streaks update even during cooldown — the signal keeps
+            // accumulating; only the *decision* is suppressed.
+            if busy {
+                st.up_streak += 1;
+                st.down_streak = 0;
+            } else if idle {
+                st.down_streak += 1;
+                st.up_streak = 0;
+            } else {
+                st.up_streak = 0;
+                st.down_streak = 0;
+            }
+            if st.cooldown > 0 {
+                st.cooldown -= 1;
+                None
+            } else {
+                let members = self.membership.current().members.clone();
+                if st.up_streak >= cfg.up_ticks && members.len() < cfg.max {
+                    st.up_streak = 0;
+                    st.down_streak = 0;
+                    st.cooldown = cfg.cooldown_ticks;
+                    Some(Decision::Up)
+                } else if st.down_streak >= cfg.down_ticks && members.len() > cfg.min {
+                    st.up_streak = 0;
+                    st.down_streak = 0;
+                    st.cooldown = cfg.cooldown_ticks;
+                    Some(Decision::Down(*members.iter().max().unwrap()))
+                } else {
+                    None
+                }
+            }
+        };
+        match decision {
+            Some(Decision::Up) => {
+                if self.scale_up().is_ok() {
+                    self.auto_up.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Some(Decision::Down(victim)) => {
+                if self.drain(victim).is_ok() {
+                    self.auto_down.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// The `/metrics` membership section.
+    pub fn doc(&self) -> Json {
+        let cur = self.membership.current();
+        let log: Vec<Json> = self
+            .membership
+            .events
+            .lock()
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("epoch", Json::Num(e.epoch as f64)),
+                    ("action", Json::Str(e.action.to_string())),
+                    ("replica", Json::Num(e.replica as f64)),
+                    ("keys_moved", Json::Num(e.keys_moved as f64)),
+                    ("warm_hits", Json::Num(e.warm_hits as f64)),
+                ])
+            })
+            .collect();
+        let (up, down) = self.autoscale_decisions();
+        Json::obj([
+            ("epoch", Json::Num(cur.version as f64)),
+            ("events", Json::Num(log.len() as f64)),
+            (
+                "members",
+                Json::obj([
+                    ("current", Json::Num(cur.members.len() as f64)),
+                    ("added_total", Json::Num(self.membership.added_total() as f64)),
+                    ("removed_total", Json::Num(self.membership.removed_total() as f64)),
+                ]),
+            ),
+            (
+                "handoff",
+                Json::obj([
+                    ("keys_moved", Json::Num(self.membership.keys_moved() as f64)),
+                    ("warm_hits", Json::Num(self.membership.warm_hits() as f64)),
+                ]),
+            ),
+            (
+                "autoscale",
+                Json::obj([
+                    ("enabled", Json::Bool(self.autoscale.is_some())),
+                    ("up", Json::Num(up as f64)),
+                    ("down", Json::Num(down as f64)),
+                ]),
+            ),
+            ("log", Json::Arr(log)),
+        ])
+    }
+}
+
+/// The p99 of the observations recorded *between* two bucket
+/// snapshots of the same histogram (per-bucket counts are monotonic,
+/// so the delta is exactly the inter-snapshot window). Returns 0 for
+/// an empty window.
+pub fn delta_p99(prev: &[(u64, u64)], cur: &[(u64, u64)]) -> u64 {
+    let prev_count = |le: u64| prev.iter().find(|&&(p, _)| p == le).map_or(0, |&(_, c)| c);
+    let deltas: Vec<(u64, u64)> =
+        cur.iter().map(|&(le, c)| (le, c.saturating_sub(prev_count(le)))).collect();
+    let total: u64 = deltas.iter().map(|&(_, c)| c).sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * 0.99).ceil() as u64;
+    let mut seen = 0u64;
+    for &(le, c) in &deltas {
+        seen += c;
+        if seen >= rank {
+            return le;
+        }
+    }
+    deltas.last().map_or(0, |&(le, _)| le)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hec_serve::server::ServeConfig;
+
+    fn elastic(n: usize, autoscale: Option<AutoscaleConfig>) -> Elasticity {
+        let replicas = Arc::new(
+            ReplicaSet::start(n, ServeConfig { port: 0, workers: 1, queue: 8, cache_capacity: 64 })
+                .unwrap(),
+        );
+        let health = Arc::new(Health::new(n));
+        Elasticity::new(replicas, health, 16, 2, autoscale, Duration::from_secs(5))
+    }
+
+    #[test]
+    fn delta_p99_sees_only_the_window_between_snapshots() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record_us(10);
+        }
+        let snap = h.nonzero_buckets();
+        assert!(delta_p99(&[], &snap) <= 15, "lifetime window is all-fast");
+        // A burst after the snapshot dominates the delta window even
+        // though it is a minority of the lifetime observations.
+        for _ in 0..50 {
+            h.record_us(500_000);
+        }
+        let p99 = delta_p99(&snap, &h.nonzero_buckets());
+        assert!(p99 >= 500_000, "delta window must see the burst, got {p99}");
+        assert_eq!(delta_p99(&snap, &snap), 0, "empty window is 0");
+    }
+
+    #[test]
+    fn scale_up_and_drain_flip_epochs_and_move_only_changed_keys() {
+        let e = elastic(2, None);
+        for app in ["gtc", "lbmhd", "fvcam", "paratec"] {
+            e.track(&format!("sweep|{app}"), &format!("/sweep?app={app}"));
+        }
+        let before = e.membership.current();
+        assert_eq!(before.version, 0);
+        assert_eq!(before.members, vec![0, 1]);
+
+        let up = e.scale_up().unwrap();
+        assert_eq!(up.added, 2);
+        let mid = e.membership.current();
+        assert_eq!((mid.version, mid.members.clone()), (1, vec![0, 1, 2]));
+        // keys_moved is exactly the tracked keys owners_diff covers.
+        let diff = owners_diff(&before.ring, &mid.ring);
+        let expect: u64 = ["gtc", "lbmhd", "fvcam", "paratec"]
+            .iter()
+            .filter(|a| diff.covers(stable_hash(format!("sweep|{a}").as_bytes())))
+            .count() as u64;
+        assert_eq!(up.keys_moved, expect);
+
+        let drained = e.drain(1).unwrap();
+        let after = e.membership.current();
+        assert_eq!((after.version, after.members.clone()), (2, vec![0, 2]));
+        assert_eq!(drained.connections_open, 0, "graceful drain leaves no connections");
+        assert_eq!(e.membership.events_len(), 2);
+        assert_eq!(e.membership.added_total(), 1);
+        assert_eq!(e.membership.removed_total(), 1);
+        e.replicas.shutdown_all();
+    }
+
+    #[test]
+    fn drain_refuses_non_members_and_the_last_member() {
+        let e = elastic(2, None);
+        assert!(e.drain(7).is_err(), "unknown member");
+        e.drain(0).unwrap();
+        assert!(e.drain(0).is_err(), "already drained");
+        assert!(e.drain(1).is_err(), "last member must not drain");
+        assert_eq!(e.membership.current().members, vec![1]);
+        e.replicas.shutdown_all();
+    }
+
+    #[test]
+    fn autoscaler_scales_up_on_sustained_load_and_down_on_idle() {
+        let cfg = AutoscaleConfig {
+            tick_every: 1,
+            up_queue_depth: 1000, // queue never triggers; p99 drives it
+            up_p99_us: 100_000,
+            up_ticks: 2,
+            down_queue_depth: 2,
+            down_ticks: 3,
+            cooldown_ticks: 2,
+            min: 1,
+            max: 2,
+        };
+        let e = elastic(1, Some(cfg));
+        let h = Histogram::new();
+        // Two busy ticks (slow p99 deltas) -> one scale-up, capped at max.
+        for i in 0..4u64 {
+            h.record_us(300_000);
+            e.autoscale_tick(i, 0, &h);
+        }
+        assert_eq!(e.autoscale_decisions(), (1, 0), "max bounds the up decisions");
+        assert_eq!(e.membership.current().members.len(), 2);
+        // Idle ticks: cooldown (2) absorbs the first two, then 3 idle
+        // ticks drain the newest member back to min.
+        for i in 4..12u64 {
+            e.autoscale_tick(i, 0, &h);
+        }
+        assert_eq!(e.autoscale_decisions(), (1, 1));
+        let cur = e.membership.current();
+        assert_eq!(cur.members, vec![0], "down drains the highest member id");
+        assert!(e.replicas.is_retired(1));
+        e.replicas.shutdown_all();
+    }
+
+    #[test]
+    fn forwarded_counters_grow_with_membership() {
+        let e = elastic(1, None);
+        e.note_forward(0);
+        e.note_forward(5); // out of range: dropped, not a panic
+        assert_eq!(e.forwarded(0), 1);
+        assert_eq!(e.forwarded(5), 0);
+        e.scale_up().unwrap();
+        e.note_forward(1);
+        assert_eq!(e.forwarded(1), 1);
+        e.replicas.shutdown_all();
+    }
+}

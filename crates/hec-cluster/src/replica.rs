@@ -8,8 +8,17 @@
 //! comes back on a *new* port (the old one cannot be reliably rebound
 //! immediately); the router always looks addresses up through
 //! [`ReplicaSet::addr`], so the ring never stores a stale port.
+//!
+//! The set is *growable and retirable* (DESIGN §12): slot IDs are
+//! append-only — [`ReplicaSet::add`] assigns the next never-used ID, and
+//! [`ReplicaSet::retire`] gracefully drains a slot and marks it retired
+//! forever (IDs are never reused, so a ring epoch that names member `i`
+//! always means the same process). A retired slot records the reactor's
+//! final open-connection count, the number the drain contract requires
+//! to be zero.
 
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 use hec_core::sync::Mutex;
 use hec_serve::server::{self, ServeConfig, Server};
@@ -18,11 +27,17 @@ struct Slot {
     server: Option<Server>,
     /// Last bound address; retained while down for diagnostics.
     addr: SocketAddr,
+    /// Retired slots never restart; their ID is never reused.
+    retired: bool,
+    /// Reactor connections still open when the retirement drain
+    /// finished (meaningful only once `retired`).
+    final_open: u64,
 }
 
-/// N in-process `hec-serve` replicas, individually killable/restartable.
+/// In-process `hec-serve` replicas: individually killable, restartable,
+/// and — for elasticity — addable and retirable.
 pub struct ReplicaSet {
-    slots: Vec<Mutex<Slot>>,
+    slots: Mutex<Vec<Arc<Mutex<Slot>>>>,
     template: ServeConfig,
 }
 
@@ -30,46 +45,93 @@ impl ReplicaSet {
     /// Starts `n` replicas from `template` (the port field is ignored —
     /// every replica binds an ephemeral port).
     pub fn start(n: usize, template: ServeConfig) -> std::io::Result<ReplicaSet> {
-        let mut slots = Vec::with_capacity(n.max(1));
+        let set = ReplicaSet { slots: Mutex::new(Vec::with_capacity(n.max(1))), template };
         for _ in 0..n.max(1) {
-            let server = server::start(ServeConfig { port: 0, ..template.clone() })?;
-            let addr = server.addr();
-            slots.push(Mutex::new(Slot { server: Some(server), addr }));
+            set.add()?;
         }
-        Ok(ReplicaSet { slots, template })
+        Ok(set)
     }
 
-    /// Number of replica slots (up or down).
+    fn slot(&self, i: usize) -> Option<Arc<Mutex<Slot>>> {
+        self.slots.lock().get(i).cloned()
+    }
+
+    /// Number of replica slots ever created (up, down, or retired).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.lock().len()
     }
 
     /// True when the set has no slots (never, in practice).
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
-    /// The replica's current address, or `None` when it is down or the
-    /// index is out of range.
+    /// Starts a fresh replica in the next slot. Returns its ID and
+    /// address; the ID is stable for the life of the set.
+    pub fn add(&self) -> std::io::Result<(usize, SocketAddr)> {
+        let server = server::start(ServeConfig { port: 0, ..self.template.clone() })?;
+        let addr = server.addr();
+        let mut slots = self.slots.lock();
+        slots.push(Arc::new(Mutex::new(Slot {
+            server: Some(server),
+            addr,
+            retired: false,
+            final_open: 0,
+        })));
+        Ok((slots.len() - 1, addr))
+    }
+
+    /// The replica's current address, or `None` when it is down,
+    /// retired, or the index is out of range.
     pub fn addr(&self, i: usize) -> Option<SocketAddr> {
-        let slot = self.slots.get(i)?.lock();
-        slot.server.as_ref().map(|s| s.addr())
+        let slot = self.slot(i)?;
+        let g = slot.lock();
+        g.server.as_ref().map(|s| s.addr())
     }
 
     /// The replica's last known address regardless of state (diagnostics).
     pub fn last_addr(&self, i: usize) -> Option<SocketAddr> {
-        Some(self.slots.get(i)?.lock().addr)
+        Some(self.slot(i)?.lock().addr)
     }
 
     /// True when the replica is currently running.
     pub fn is_up(&self, i: usize) -> bool {
-        self.slots.get(i).map(|s| s.lock().server.is_some()).unwrap_or(false)
+        self.slot(i).map(|s| s.lock().server.is_some()).unwrap_or(false)
+    }
+
+    /// True when the replica has been retired (drained out for good).
+    pub fn is_retired(&self, i: usize) -> bool {
+        self.slot(i).map(|s| s.lock().retired).unwrap_or(false)
+    }
+
+    /// IDs of slots that are not retired, ascending.
+    pub fn current_ids(&self) -> Vec<usize> {
+        let slots = self.slots.lock();
+        (0..slots.len()).filter(|&i| !slots[i].lock().retired).collect()
+    }
+
+    /// IDs of retired slots, ascending.
+    pub fn retired_ids(&self) -> Vec<usize> {
+        let slots = self.slots.lock();
+        (0..slots.len()).filter(|&i| slots[i].lock().retired).collect()
+    }
+
+    /// The reactor's final open-connection count recorded when slot `i`
+    /// was retired. `None` until the slot is retired.
+    pub fn final_open(&self, i: usize) -> Option<u64> {
+        let slot = self.slot(i)?;
+        let g = slot.lock();
+        if g.retired {
+            Some(g.final_open)
+        } else {
+            None
+        }
     }
 
     /// Shuts replica `i` down (graceful: drains in-flight requests).
     /// Returns true when it was up. Idempotent.
     pub fn kill(&self, i: usize) -> bool {
-        let Some(slot) = self.slots.get(i) else { return false };
+        let Some(slot) = self.slot(i) else { return false };
         let server = slot.lock().server.take();
         match server {
             Some(s) => {
@@ -82,25 +144,63 @@ impl ReplicaSet {
     }
 
     /// Restarts replica `i` on a fresh ephemeral port. Returns the new
-    /// address; an already-running replica is left alone.
+    /// address; an already-running replica is left alone. Retired slots
+    /// refuse to restart.
     pub fn restart(&self, i: usize) -> std::io::Result<SocketAddr> {
-        let slot = self.slots.get(i).ok_or_else(|| {
+        let slot = self.slot(i).ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("no replica {i}"))
         })?;
-        let mut g = slot.lock();
-        if let Some(s) = g.server.as_ref() {
-            return Ok(s.addr());
+        {
+            let g = slot.lock();
+            if g.retired {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("replica {i} is retired"),
+                ));
+            }
+            if let Some(s) = g.server.as_ref() {
+                return Ok(s.addr());
+            }
         }
         let server = server::start(ServeConfig { port: 0, ..self.template.clone() })?;
         let addr = server.addr();
+        let mut g = slot.lock();
         g.server = Some(server);
         g.addr = addr;
         Ok(addr)
     }
 
+    /// Retires replica `i` for good: graceful drain (in-flight requests
+    /// complete, then every connection closes), then the slot is marked
+    /// retired and records the reactor's final open-connection count.
+    /// Returns that count, or `None` when already retired / out of
+    /// range. A down-but-not-retired slot retires with count 0.
+    pub fn retire(&self, i: usize) -> Option<u64> {
+        let slot = self.slot(i)?;
+        let server = {
+            let mut g = slot.lock();
+            if g.retired {
+                return None;
+            }
+            g.retired = true;
+            g.server.take()
+        };
+        let final_open = match server {
+            Some(s) => {
+                let net = s.net_stats();
+                s.shutdown();
+                s.join();
+                net.open()
+            }
+            None => 0,
+        };
+        slot.lock().final_open = final_open;
+        Some(final_open)
+    }
+
     /// Shuts every running replica down.
     pub fn shutdown_all(&self) {
-        for i in 0..self.slots.len() {
+        for i in 0..self.len() {
             let _ = self.kill(i);
         }
     }
@@ -147,6 +247,52 @@ mod tests {
         let revived = set.restart(0).unwrap();
         assert!(set.is_up(0));
         assert_eq!(client::http_get(&format!("http://{revived}/healthz")).unwrap().status, 200);
+        set.shutdown_all();
+    }
+
+    #[test]
+    fn add_assigns_the_next_slot_and_serves() {
+        let set = ReplicaSet::start(2, small_cfg()).unwrap();
+        let (id, addr) = set.add().unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(set.len(), 3);
+        assert!(set.is_up(2));
+        assert_eq!(client::http_get(&format!("http://{addr}/healthz")).unwrap().status, 200);
+        assert_eq!(set.current_ids(), vec![0, 1, 2]);
+        set.shutdown_all();
+    }
+
+    #[test]
+    fn retire_drains_to_zero_connections_and_is_permanent() {
+        let set = ReplicaSet::start(2, small_cfg()).unwrap();
+        let addr = set.addr(1).unwrap();
+        let open = set.retire(1).expect("first retire reports the drain");
+        assert_eq!(open, 0, "an idle replica drains to zero connections");
+        assert_eq!(set.final_open(1), Some(0));
+        assert!(set.is_retired(1));
+        assert!(!set.is_up(1));
+        assert!(set.addr(1).is_none());
+        assert!(client::http_get(&format!("http://{addr}/healthz")).is_err());
+        assert_eq!(set.retire(1), None, "second retire is a no-op");
+        assert!(set.restart(1).is_err(), "retired slots never restart");
+        assert_eq!(set.current_ids(), vec![0]);
+        assert_eq!(set.retired_ids(), vec![1]);
+        // IDs are never reused: the next add takes slot 2, not 1.
+        let (id, _) = set.add().unwrap();
+        assert_eq!(id, 2);
+        set.shutdown_all();
+    }
+
+    #[test]
+    fn retire_counts_connections_still_open_after_drain() {
+        // A keep-alive client connection is closed by the graceful
+        // drain, so the recorded final count is still zero — the drain
+        // contract the elasticity e2e asserts through /metrics.
+        let set = ReplicaSet::start(1, small_cfg()).unwrap();
+        let addr = set.addr(0).unwrap();
+        let r = client::http_get(&format!("http://{addr}/metrics")).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(set.retire(0), Some(0));
         set.shutdown_all();
     }
 }

@@ -12,8 +12,14 @@
 //! Hashing is FNV-1a finished with splitmix64 — in-tree and stable
 //! across platforms and runs, unlike `DefaultHasher`, whose seed policy
 //! is unspecified. Ring layout is therefore a pure function of
-//! `(replicas, vnodes)`: every router instance, and every test, agrees
+//! `(members, vnodes)`: every router instance, and every test, agrees
 //! on who owns which key.
+//!
+//! Rings are built over an explicit *member-ID set* ([`Ring::over`]), not
+//! just a count: a member's vnode positions depend only on its own ID, so
+//! adding or draining one member perturbs only the arcs its vnodes gain
+//! or lose — the bounded-key-movement property elasticity relies on.
+//! [`owners_diff`] computes exactly those arcs between two ring epochs.
 
 use hec_core::rng::splitmix64;
 
@@ -32,34 +38,54 @@ pub fn stable_hash(bytes: &[u8]) -> u64 {
     splitmix64(&mut x)
 }
 
-/// A consistent-hash ring over `replicas` replicas.
+/// A consistent-hash ring over an explicit set of member IDs.
 #[derive(Clone, Debug)]
 pub struct Ring {
-    /// Ring points sorted by hash: `(hash, replica_index)`.
+    /// Ring points sorted by hash: `(hash, member_id)`.
     points: Vec<(u64, usize)>,
-    replicas: usize,
+    /// Member IDs the ring spans (sorted, distinct).
+    members: Vec<usize>,
     replication: usize,
 }
 
 impl Ring {
-    /// Builds the ring: `vnodes` points per replica, owner lists of
-    /// length `min(replication, replicas)`. Deterministic in its inputs.
+    /// Builds the ring over the contiguous member set `0..replicas`:
+    /// `vnodes` points per replica, owner lists of length
+    /// `min(replication, replicas)`. Deterministic in its inputs.
     pub fn new(replicas: usize, vnodes: usize, replication: usize) -> Ring {
-        let replicas = replicas.max(1);
+        let members: Vec<usize> = (0..replicas.max(1)).collect();
+        Ring::over(&members, vnodes, replication)
+    }
+
+    /// Builds the ring over an arbitrary member-ID set. A member's vnode
+    /// positions are a function of its ID alone, so the same ID hashes to
+    /// the same arcs in every epoch that contains it — membership change
+    /// moves only the arcs of the changed members.
+    pub fn over(members: &[usize], vnodes: usize, replication: usize) -> Ring {
+        let mut members: Vec<usize> = if members.is_empty() { vec![0] } else { members.to_vec() };
+        members.sort_unstable();
+        members.dedup();
         let vnodes = vnodes.max(1);
-        let mut points: Vec<(u64, usize)> = (0..replicas)
-            .flat_map(|r| {
+        let mut points: Vec<(u64, usize)> = members
+            .iter()
+            .flat_map(|&r| {
                 (0..vnodes)
                     .map(move |v| (stable_hash(format!("replica{r}#vnode{v}").as_bytes()), r))
             })
             .collect();
         points.sort_unstable();
-        Ring { points, replicas, replication: replication.clamp(1, replicas) }
+        let replication = replication.clamp(1, members.len());
+        Ring { points, members, replication }
     }
 
-    /// Number of replicas the ring spans.
+    /// Number of members the ring spans.
     pub fn replicas(&self) -> usize {
-        self.replicas
+        self.members.len()
+    }
+
+    /// The member IDs the ring spans, sorted.
+    pub fn members(&self) -> &[usize] {
+        &self.members
     }
 
     /// Owner-list length (the effective replication factor R).
@@ -67,10 +93,9 @@ impl Ring {
         self.replication
     }
 
-    /// The key's owners: the first R distinct replicas clockwise from
-    /// the key's hash, in preference order. Never empty.
-    pub fn owners(&self, key: &str) -> Vec<usize> {
-        let h = stable_hash(key.as_bytes());
+    /// The owners of a raw ring position: the first R distinct members
+    /// clockwise from hash `h`, in preference order. Never empty.
+    pub fn owners_at(&self, h: u64) -> Vec<usize> {
         let start = self.points.partition_point(|&(p, _)| p < h);
         let mut owners = Vec::with_capacity(self.replication);
         for i in 0..self.points.len() {
@@ -85,10 +110,90 @@ impl Ring {
         owners
     }
 
+    /// The key's owners: the first R distinct members clockwise from
+    /// the key's hash, in preference order. Never empty.
+    pub fn owners(&self, key: &str) -> Vec<usize> {
+        self.owners_at(stable_hash(key.as_bytes()))
+    }
+
     /// The primary owner of `key` (first entry of [`Ring::owners`]).
     pub fn primary(&self, key: &str) -> usize {
         self.owners(key)[0]
     }
+}
+
+/// The keyspace arcs whose owner lists differ between two ring epochs,
+/// from [`owners_diff`]. `covers` answers "did this key's owners
+/// change?" exactly — a key moved between the epochs iff its hash lies
+/// on one of the recorded arcs — and `fraction` is the measure of the
+/// moved arcs as a share of the full 2^64 keyspace, the quantity the
+/// bounded-movement property test holds under the theoretical
+/// moved-vnode bound.
+#[derive(Clone, Debug)]
+pub struct OwnersDiff {
+    /// Sorted distinct union of both rings' point hashes. Owner lists
+    /// are constant on each arc `(bounds[i-1], bounds[i]]` (wrapping).
+    bounds: Vec<u64>,
+    /// `moved[i]`: the owner lists differ on the arc ending at
+    /// `bounds[i]`.
+    moved: Vec<bool>,
+    /// Total measure of moved arcs as a fraction of the keyspace.
+    fraction: f64,
+}
+
+impl OwnersDiff {
+    /// True when the key hash `h` lies on an arc whose owners changed.
+    pub fn covers(&self, h: u64) -> bool {
+        let i = self.bounds.partition_point(|&b| b < h);
+        self.moved[i % self.moved.len()]
+    }
+
+    /// Share of the keyspace whose owner lists changed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Number of contiguous boundary arcs marked moved.
+    pub fn moved_arcs(&self) -> usize {
+        self.moved.iter().filter(|&&m| m).count()
+    }
+
+    /// True when no arc moved (the epochs agree on every owner list).
+    pub fn is_empty(&self) -> bool {
+        self.moved_arcs() == 0
+    }
+}
+
+/// Computes the arcs whose owner lists differ between `old` and `new`.
+///
+/// Owner lists are piecewise constant between adjacent ring points, so
+/// it suffices to evaluate both rings once per arc of the *union* point
+/// set: `O((|old| + |new|) · R)` total work, no key sampling. The result
+/// is exact — the router's rebalance and the property test both consume
+/// it rather than re-deriving ownership ad hoc.
+pub fn owners_diff(old: &Ring, new: &Ring) -> OwnersDiff {
+    let mut bounds: Vec<u64> =
+        old.points.iter().chain(new.points.iter()).map(|&(h, _)| h).collect();
+    bounds.sort_unstable();
+    bounds.dedup();
+    let n = bounds.len();
+    let mut moved = Vec::with_capacity(n);
+    let mut moved_measure: u128 = 0;
+    const KEYSPACE: u128 = 1 << 64;
+    for i in 0..n {
+        let b = bounds[i];
+        let differs = old.owners_at(b) != new.owners_at(b);
+        moved.push(differs);
+        if differs {
+            let prev = bounds[(i + n - 1) % n];
+            // Arc (prev, b], wrapping; a single-point ring covers the
+            // whole circle (wrapping_sub would read zero).
+            let len = if n == 1 { KEYSPACE } else { u128::from(b.wrapping_sub(prev)) };
+            moved_measure += len;
+        }
+    }
+    let fraction = moved_measure as f64 / KEYSPACE as f64;
+    OwnersDiff { bounds, moved, fraction }
 }
 
 #[cfg(test)]
@@ -174,7 +279,7 @@ mod tests {
                 .map(|(r, v)| (stable_hash(format!("replica{r}#vnode{v}").as_bytes()), r))
                 .collect();
             points.sort_unstable();
-            let shuffled = Ring { points, replicas, replication };
+            let shuffled = Ring { points, members: (0..replicas).collect(), replication };
             for i in 0..100 {
                 let key = format!("app{}|plat{}|procs={}", i % 4, i % 7, 1 << (i % 10));
                 assert_eq!(canonical.owners(&key), shuffled.owners(&key), "seed {seed}, key {key}");
@@ -205,6 +310,110 @@ mod tests {
                         assert!(owners.iter().all(|&r| r < replicas));
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn over_matches_new_for_contiguous_members_and_handles_gaps() {
+        let a = Ring::new(4, 32, 2);
+        let b = Ring::over(&[0, 1, 2, 3], 32, 2);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            assert_eq!(a.owners(&key), b.owners(&key));
+        }
+        // Gapped member sets are first-class: owners come from the set.
+        let gapped = Ring::over(&[0, 2, 5], 32, 2);
+        assert_eq!(gapped.members(), &[0, 2, 5]);
+        for i in 0..100 {
+            let owners = gapped.owners(&format!("k{i}"));
+            assert!(owners.iter().all(|r| [0, 2, 5].contains(r)), "{owners:?}");
+        }
+    }
+
+    #[test]
+    fn members_shared_between_epochs_keep_their_arcs() {
+        // Member 1's vnode positions depend only on its ID, so its
+        // points are identical whether the ring is {0,1} or {0,1,2}.
+        let small = Ring::over(&[0, 1], 64, 2);
+        let large = Ring::over(&[0, 1, 2], 64, 2);
+        let pts = |ring: &Ring, m: usize| -> Vec<u64> {
+            ring.points.iter().filter(|&&(_, r)| r == m).map(|&(h, _)| h).collect()
+        };
+        assert_eq!(pts(&small, 1), pts(&large, 1));
+        assert_eq!(pts(&small, 0), pts(&large, 0));
+    }
+
+    #[test]
+    fn owners_diff_is_exact_and_empty_for_identical_epochs() {
+        let a = Ring::over(&[0, 1, 2], 64, 2);
+        let b = Ring::over(&[0, 1, 2], 64, 2);
+        let diff = owners_diff(&a, &b);
+        assert!(diff.is_empty());
+        assert_eq!(diff.fraction(), 0.0);
+        for i in 0..200 {
+            assert!(!diff.covers(stable_hash(format!("k{i}").as_bytes())));
+        }
+    }
+
+    #[test]
+    fn owners_diff_covers_exactly_the_keys_whose_owners_changed() {
+        // covers(h) must agree with a direct owner-list comparison for
+        // every sampled key — both directions, no false arcs.
+        for (old_members, new_members) in [
+            (vec![0usize, 1], vec![0usize, 1, 2]), // add
+            (vec![0, 1, 2, 3], vec![0, 2, 3]),     // drain
+            (vec![0, 1, 2], vec![0, 1, 2, 3, 4]),  // add two
+            (vec![0, 2, 5], vec![0, 2]),           // drain from a gapped set
+        ] {
+            let old = Ring::over(&old_members, DEFAULT_VNODES, 2);
+            let new = Ring::over(&new_members, DEFAULT_VNODES, 2);
+            let diff = owners_diff(&old, &new);
+            for i in 0..2_000 {
+                let key = format!("app{}|plat{}|procs={i}", i % 5, i % 3);
+                let h = stable_hash(key.as_bytes());
+                let changed = old.owners(&key) != new.owners(&key);
+                assert_eq!(
+                    diff.covers(h),
+                    changed,
+                    "covers() disagreed with owner comparison for {key} ({old_members:?} -> {new_members:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_member_change_moves_a_bounded_keyspace_fraction() {
+        // The bounded-movement property (DESIGN §12): adding one member
+        // to an n-member ring moves at most roughly R/(n+1) of the
+        // keyspace — the new member's vnodes shadow R owner slots each —
+        // and the exact arc measure from owners_diff stays under that
+        // bound with a concentration-slack factor. A full reshuffle
+        // (fraction near 1.0) would fail this immediately.
+        for n in [2usize, 3, 4, 6] {
+            for r in [1usize, 2] {
+                let old = Ring::over(&(0..n).collect::<Vec<_>>(), DEFAULT_VNODES, r);
+                let new = Ring::over(&(0..=n).collect::<Vec<_>>(), DEFAULT_VNODES, r);
+                let diff = owners_diff(&old, &new);
+                let theoretical = r as f64 / (n + 1) as f64;
+                let bound = (1.5 * theoretical).min(0.9);
+                assert!(
+                    diff.fraction() <= bound,
+                    "add to n={n}, R={r}: moved {:.3} > bound {:.3}",
+                    diff.fraction(),
+                    bound
+                );
+                assert!(diff.fraction() > 0.0, "adding a member must move something");
+                // Sampled measurement agrees with the arc measure.
+                let sampled = (0..20_000)
+                    .filter(|i| diff.covers(stable_hash(format!("key{i}").as_bytes())))
+                    .count() as f64
+                    / 20_000.0;
+                assert!(
+                    (sampled - diff.fraction()).abs() < 0.02,
+                    "sampled {sampled:.3} vs measure {:.3}",
+                    diff.fraction()
+                );
             }
         }
     }

@@ -28,6 +28,13 @@
 //! | `/shutdown` | POST/GET | graceful stop of router *and* replicas |
 //! | `/admin/kill?replica=i` | POST/GET | kill one replica |
 //! | `/admin/restart?replica=i` | POST/GET | restart one replica |
+//! | `/admin/scale-up` | POST/GET | add a replica (next epoch) |
+//! | `/admin/drain/<i>` | POST/GET | drain replica `i` out of the ring |
+//!
+//! Membership is versioned ([`crate::membership`]): the router reads
+//! the current epoch's ring per owner pass, so a scale-up or drain
+//! lands between passes, never mid-pass, and the epoch flip itself is
+//! one Arc swap.
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +55,7 @@ use hec_serve::server::{
 
 use crate::faults::{FaultKind, FaultPlan};
 use crate::health::{self, Health, HealthConfig};
+use crate::membership::{AutoscaleConfig, Drain, Elasticity, ScaleUp};
 use crate::replica::ReplicaSet;
 use crate::ring::{Ring, DEFAULT_VNODES};
 
@@ -83,6 +91,8 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// The fault plan to inject (empty for production-shaped runs).
     pub faults: FaultPlan,
+    /// Autoscaler policy; `None` leaves membership purely manual.
+    pub autoscale: Option<AutoscaleConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -100,6 +110,7 @@ impl Default for ClusterConfig {
             hedge_ms: None,
             seed: 0x5ec1a,
             faults: FaultPlan::none(),
+            autoscale: None,
         }
     }
 }
@@ -135,7 +146,7 @@ impl ClusterConfig {
 }
 
 struct RouterState {
-    ring: Ring,
+    elasticity: Arc<Elasticity>,
     replicas: Arc<ReplicaSet>,
     health: Arc<Health>,
     faults: Mutex<FaultPlan>,
@@ -156,7 +167,6 @@ struct RouterState {
     retries: AtomicU64,
     hedges: AtomicU64,
     faults_injected: AtomicU64,
-    forwarded: Vec<AtomicU64>,
     lat_route: Histogram,
     lat_local: Histogram,
 }
@@ -190,10 +200,10 @@ impl RouterState {
         }
     }
 
-    /// Candidate replicas for a key: the ring owners, live ones first,
-    /// preference order preserved within each group.
-    fn candidates(&self, key: &str) -> Vec<usize> {
-        let owners = self.ring.owners(key);
+    /// Candidate replicas for a key on `ring`: the owners, live ones
+    /// first, preference order preserved within each group.
+    fn candidates(&self, ring: &Ring, key: &str) -> Vec<usize> {
+        let owners = ring.owners(key);
         let (up, down): (Vec<usize>, Vec<usize>) =
             owners.into_iter().partition(|&r| self.health.is_up(r));
         up.into_iter().chain(down).collect()
@@ -217,6 +227,14 @@ impl RouterState {
                 FaultKind::SlowReplyMs(ms) => {
                     let d = Duration::from_millis(ms);
                     slow = Some(slow.map_or(d, |s| s.max(d)));
+                }
+                // Membership churn pinned to the admitted clock: the
+                // epoch flips before this request's first owner pass.
+                FaultKind::AddAt => {
+                    let _ = self.elasticity.scale_up();
+                }
+                FaultKind::DrainAt => {
+                    let _ = self.elasticity.drain(ev.replica);
                 }
             }
         }
@@ -242,7 +260,8 @@ impl RouterState {
         let index = self.admitted.fetch_add(1, Ordering::SeqCst);
         let (mut drops, slow_reply) = self.inject_faults(index);
         let key = self.ring_key(req);
-        let primary = self.ring.primary(&key);
+        self.elasticity.track(&key, &req.target());
+        self.elasticity.autoscale_tick(index, self.queue.len(), &self.lat_route);
         let mut backoff = Backoff::new(
             self.seed ^ index,
             self.retry.base_ms,
@@ -257,7 +276,7 @@ impl RouterState {
         // attempt or routed around a replica already marked down.
         let finish = |r: usize, resp: client::Response, failed_over: bool| {
             self.health.mark(r, true);
-            self.forwarded[r].fetch_add(1, Ordering::Relaxed);
+            self.elasticity.note_forward(r);
             if failed_over {
                 self.failovers.fetch_add(1, Ordering::Relaxed);
             }
@@ -272,7 +291,12 @@ impl RouterState {
         };
 
         loop {
-            let candidates = self.candidates(&key);
+            // Re-read the epoch each pass: churn between passes (an
+            // autoscale or an injected Add/Drain) re-routes the retry
+            // to the key's *new* owners instead of a retired replica.
+            let epoch = self.elasticity.membership.current();
+            let primary = epoch.ring.primary(&key);
+            let candidates = self.candidates(&epoch.ring, &key);
 
             // Tail-latency hedge: only on a clean first pass (no drops
             // pending, nothing tried yet) with at least two live owners.
@@ -366,8 +390,14 @@ impl RouterState {
                 ("p99_us", Json::Num(h.quantile_us(0.99) as f64)),
             ])
         };
-        let replicas: Vec<Json> = (0..self.replicas.len())
-            .map(|i| {
+        let epoch = self.elasticity.membership.current();
+        // Only current members appear in `cluster.replicas`; drained
+        // slots move to `cluster.retired` with their final connection
+        // count, so the live table never grows stale rows.
+        let replicas: Vec<Json> = epoch
+            .members
+            .iter()
+            .map(|&i| {
                 let addr = self
                     .replicas
                     .addr(i)
@@ -380,7 +410,21 @@ impl RouterState {
                     ("up", Json::Bool(self.health.is_up(i))),
                     ("down_transitions", Json::Num(self.health.down_transitions(i) as f64)),
                     ("up_transitions", Json::Num(self.health.up_transitions(i) as f64)),
-                    ("forwarded", Json::Num(self.forwarded[i].load(Ordering::Relaxed) as f64)),
+                    ("forwarded", Json::Num(self.elasticity.forwarded(i) as f64)),
+                ])
+            })
+            .collect();
+        let retired: Vec<Json> = self
+            .replicas
+            .retired_ids()
+            .into_iter()
+            .map(|i| {
+                Json::obj([
+                    ("index", Json::Num(i as f64)),
+                    (
+                        "connections_open_after_drain",
+                        Json::Num(self.replicas.final_open(i).unwrap_or(0) as f64),
+                    ),
                 ])
             })
             .collect();
@@ -398,11 +442,14 @@ impl RouterState {
             (
                 "cluster",
                 Json::obj([
-                    ("replication", Json::Num(self.ring.replication() as f64)),
+                    ("replication", Json::Num(epoch.ring.replication() as f64)),
+                    ("epoch", Json::Num(epoch.version as f64)),
                     ("up", Json::Num(self.health.up_count() as f64)),
                     ("replicas", Json::Arr(replicas)),
+                    ("retired", Json::Arr(retired)),
                 ]),
             ),
+            ("membership", self.elasticity.doc()),
             (
                 "faults",
                 Json::obj([
@@ -430,6 +477,28 @@ fn admin_target(query: &str) -> Option<usize> {
     parse_query(query).into_iter().find(|(k, _)| k == "replica").and_then(|(_, v)| v.parse().ok())
 }
 
+fn scale_up_doc(up: &ScaleUp) -> String {
+    Json::obj([
+        ("added", Json::Num(up.added as f64)),
+        ("addr", Json::Str(up.addr.to_string())),
+        ("epoch", Json::Num(up.epoch as f64)),
+        ("keys_moved", Json::Num(up.keys_moved as f64)),
+        ("warm_hits", Json::Num(up.warm_hits as f64)),
+    ])
+    .emit_pretty()
+}
+
+fn drain_doc(i: usize, d: &Drain) -> String {
+    Json::obj([
+        ("drained", Json::Num(i as f64)),
+        ("epoch", Json::Num(d.epoch as f64)),
+        ("keys_moved", Json::Num(d.keys_moved as f64)),
+        ("warm_hits", Json::Num(d.warm_hits as f64)),
+        ("connections_open_after_drain", Json::Num(d.connections_open as f64)),
+    ])
+    .emit_pretty()
+}
+
 fn route(req: &Request, state: &Arc<RouterState>) -> (u16, Vec<String>, String, bool) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
@@ -454,7 +523,26 @@ fn route(req: &Request, state: &Arc<RouterState>) -> (u16, Vec<String>, String, 
             }
             _ => (400, vec![], error_body("kill needs replica=<index>"), true),
         },
+        ("GET" | "POST", "/admin/scale-up") => match state.elasticity.scale_up() {
+            Ok(up) => (200, vec![], scale_up_doc(&up), true),
+            Err(e) => (500, vec![], error_body(&format!("scale-up failed: {e}")), true),
+        },
+        (m, p) if p.starts_with("/admin/drain/") => {
+            if !matches!(m, "GET" | "POST") {
+                return (405, vec![], error_body("method not allowed"), true);
+            }
+            match p["/admin/drain/".len()..].parse::<usize>() {
+                Err(_) => (400, vec![], error_body("drain needs /admin/drain/<index>"), true),
+                Ok(i) => match state.elasticity.drain(i) {
+                    Ok(d) => (200, vec![], drain_doc(i, &d), true),
+                    Err(e) => (400, vec![], error_body(&format!("drain failed: {e}")), true),
+                },
+            }
+        }
         ("GET" | "POST", "/admin/restart") => match admin_target(&req.query) {
+            Some(i) if i < state.replicas.len() && state.replicas.is_retired(i) => {
+                (400, vec![], error_body(&format!("replica {i} is retired")), true)
+            }
             Some(i) if i < state.replicas.len() => match state.replicas.restart(i) {
                 Ok(addr) => {
                     state.health.mark(i, true);
@@ -473,7 +561,7 @@ fn route(req: &Request, state: &Arc<RouterState>) -> (u16, Vec<String>, String, 
             },
             _ => (400, vec![], error_body("restart needs replica=<index>"), true),
         },
-        (_, "/healthz" | "/metrics" | "/admin/kill" | "/admin/restart") => {
+        (_, "/healthz" | "/metrics" | "/admin/kill" | "/admin/restart" | "/admin/scale-up") => {
             (405, vec![], error_body("method not allowed"), true)
         }
         _ => {
@@ -545,6 +633,23 @@ impl Cluster {
         Ok(addr)
     }
 
+    /// Adds one replica and installs the next epoch (the HTTP path is
+    /// `/admin/scale-up`).
+    pub fn scale_up(&self) -> std::io::Result<crate::membership::ScaleUp> {
+        self.state.elasticity.scale_up()
+    }
+
+    /// Drains replica `i` out of the ring (the HTTP path is
+    /// `/admin/drain/<i>`).
+    pub fn drain_replica(&self, i: usize) -> std::io::Result<crate::membership::Drain> {
+        self.state.elasticity.drain(i)
+    }
+
+    /// The current epoch's member IDs.
+    pub fn members(&self) -> Vec<usize> {
+        self.state.elasticity.membership.current().members.clone()
+    }
+
     /// Requests a graceful stop: the router drains admitted requests,
     /// then the replicas drain theirs.
     pub fn shutdown(&self) {
@@ -573,8 +678,16 @@ pub fn start(cfg: ClusterConfig) -> std::io::Result<Cluster> {
     let stop = Arc::new(ShutdownFlag::new());
     let net = Arc::new(NetStats::new());
     let planned_faults = cfg.faults.remaining();
+    let elasticity = Arc::new(Elasticity::new(
+        Arc::clone(&replicas),
+        Arc::clone(&health),
+        cfg.vnodes,
+        cfg.replication,
+        cfg.autoscale,
+        cfg.retry.timeout,
+    ));
     let state = Arc::new(RouterState {
-        ring: Ring::new(replicas.len(), cfg.vnodes, cfg.replication),
+        elasticity,
         replicas: Arc::clone(&replicas),
         health: Arc::clone(&health),
         faults: Mutex::new(cfg.faults),
@@ -594,7 +707,6 @@ pub fn start(cfg: ClusterConfig) -> std::io::Result<Cluster> {
         retries: AtomicU64::new(0),
         hedges: AtomicU64::new(0),
         faults_injected: AtomicU64::new(0),
-        forwarded: (0..replicas.len()).map(|_| AtomicU64::new(0)).collect(),
         lat_route: Histogram::new(),
         lat_local: Histogram::new(),
     });

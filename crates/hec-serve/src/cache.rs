@@ -192,6 +192,15 @@ impl ShardedLru {
         }
     }
 
+    /// Looks `key` up without promoting it and without touching the
+    /// hit/miss counters. The cache-handoff export path reads entries
+    /// this way so a migration doesn't distort recency or stats.
+    pub fn peek(&self, key: &str) -> Option<Option<Cell>> {
+        let cell = self.shard(key);
+        let g = cell.inner.lock();
+        g.map.get(key).map(|&idx| g.slab[idx].val)
+    }
+
     /// Cumulative hits, across all shards.
     pub fn hits(&self) -> u64 {
         self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
@@ -296,6 +305,18 @@ mod tests {
         assert!(c.get("a").is_some(), "promoted key must survive");
         assert_eq!(c.get(&colliders[0]), None);
         assert!(c.get(&colliders[1]).is_some());
+    }
+
+    #[test]
+    fn peek_reads_without_promoting_or_counting() {
+        let c = ShardedLru::new(64);
+        c.put("a".into(), cell(1.5));
+        c.put("inf".into(), None);
+        assert_eq!(c.peek("a").unwrap().unwrap().gflops, 1.5);
+        assert_eq!(c.peek("inf"), Some(None), "cached infeasibility peeks too");
+        assert_eq!(c.peek("absent"), None);
+        assert_eq!(c.hits(), 0, "peek must not count hits");
+        assert_eq!(c.misses(), 0, "peek must not count misses");
     }
 
     #[test]

@@ -296,6 +296,14 @@ impl NetStats {
         self.open.load(Ordering::Relaxed).saturating_sub(1)
     }
 
+    /// Currently registered connections, raw. Read out-of-band (not over
+    /// a connection to this server) — e.g. after the reactor exits, where
+    /// a fully drained server reads exactly 0 with no observer to
+    /// subtract. The cluster's retirement path records this.
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
     /// Total connections accepted.
     pub fn accepted(&self) -> u64 {
         self.accepted.load(Ordering::Relaxed)

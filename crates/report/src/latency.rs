@@ -44,6 +44,12 @@ pub struct ClusterSummary {
     pub retried_ok: u64,
     /// Successful responses / attempted requests, in `[0, 1]`.
     pub availability: f64,
+    /// Membership changes during the run (scale-ups + drains).
+    pub membership_events: u64,
+    /// Tracked keys rerouted across epoch flips during the run.
+    pub keys_moved: u64,
+    /// Autoscaler decisions during the run as `(up, down)`.
+    pub autoscale: (u64, u64),
 }
 
 /// Renders the cluster availability row that accompanies a cluster
@@ -51,7 +57,7 @@ pub struct ClusterSummary {
 pub fn cluster_table(title: &str, c: &ClusterSummary) -> Table {
     let mut t = Table::new(
         title.to_string(),
-        &["replicas", "up", "failovers", "retried ok", "availability"],
+        &["replicas", "up", "failovers", "retried ok", "availability", "churn", "moved", "scale"],
     );
     t.push_row(vec![
         c.replicas.to_string(),
@@ -59,6 +65,9 @@ pub fn cluster_table(title: &str, c: &ClusterSummary) -> Table {
         c.failovers.to_string(),
         c.retried_ok.to_string(),
         format!("{:.3}%", c.availability * 100.0),
+        c.membership_events.to_string(),
+        c.keys_moved.to_string(),
+        format!("+{}/-{}", c.autoscale.0, c.autoscale.1),
     ]);
     t
 }
@@ -186,11 +195,22 @@ mod tests {
     fn cluster_table_shows_availability_and_failovers() {
         let out = cluster_table(
             "cluster availability",
-            &ClusterSummary { replicas: 3, up: 2, failovers: 7, retried_ok: 4, availability: 1.0 },
+            &ClusterSummary {
+                replicas: 3,
+                up: 2,
+                failovers: 7,
+                retried_ok: 4,
+                availability: 1.0,
+                membership_events: 3,
+                keys_moved: 12,
+                autoscale: (1, 1),
+            },
         )
         .render();
         assert!(out.contains("100.000%"), "{out}");
         assert!(out.contains('7'));
         assert!(out.contains("retried ok"));
+        assert!(out.contains("+1/-1"), "autoscale column renders up/down: {out}");
+        assert!(out.contains("12"), "keys moved column: {out}");
     }
 }

@@ -81,4 +81,34 @@ wait "$CLUSTER_PID"
 grep -q "drained and stopped" "$CLUSTER_LOG" || { echo "ci: cluster did not stop gracefully"; exit 1; }
 rm -f "$CLUSTER_LOG"
 
+# Smoke cluster elasticity end to end: a 2-replica cluster scales up to
+# 3 and drains one member back out while the open-loop load runs, and
+# still every admitted request must succeed (bounded rebalancing plus
+# cache handoff must make the churn invisible to clients). The BENCH
+# artifact must record the membership events it lived through.
+ELASTIC_DIR=$(mktemp -d)
+ELASTIC_LOG=$(mktemp)
+trap 'rm -rf "$ART_DIR" "$SMOKE_DIR" "$ELASTIC_DIR"' EXIT
+HEC_THREADS=2 ./target/release/repro cluster 2 > "$ELASTIC_LOG" 2>&1 &
+ELASTIC_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    ELASTIC_URL=$(sed -n 's/^listening on /http:\/\//p' "$ELASTIC_LOG")
+    [ -n "$ELASTIC_URL" ] && break
+    sleep 1
+done
+[ -n "$ELASTIC_URL" ] || { echo "ci: elastic cluster did not come up"; cat "$ELASTIC_LOG"; exit 1; }
+( sleep 1; ./target/release/repro scale "$ELASTIC_URL" up; \
+  sleep 1; ./target/release/repro scale "$ELASTIC_URL" down ) &
+SCALE_PID=$!
+( cd "$ELASTIC_DIR" && HEC_THREADS=2 "$OLDPWD/target/release/repro" loadgen "$ELASTIC_URL" 3 4 --rate=400 )
+grep -q '"errors": 0' "$ELASTIC_DIR/BENCH_cluster.json" \
+    || { echo "ci: elasticity churn produced error responses"; exit 1; }
+grep -q '"membership_events"' "$ELASTIC_DIR/BENCH_cluster.json" \
+    || { echo "ci: elasticity smoke recorded no membership events"; exit 1; }
+wait "$SCALE_PID"
+./target/release/repro stop "$ELASTIC_URL"
+wait "$ELASTIC_PID"
+grep -q "drained and stopped" "$ELASTIC_LOG" || { echo "ci: elastic cluster did not stop gracefully"; exit 1; }
+rm -f "$ELASTIC_LOG"
+
 echo "ci: ok"

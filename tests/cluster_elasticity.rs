@@ -1,0 +1,274 @@
+//! End-to-end tests for cluster elasticity (ISSUE 10): live membership
+//! under load. The contracts: (i) a seeded churn plan — scale-ups and a
+//! drain pinned to admitted-request indices — loses zero requests and
+//! changes zero bytes, and the number of rerouted keys is *exactly* the
+//! ring-predicted set; (ii) the admin scale/drain endpoints round-trip
+//! with hard input validation; (iii) the autoscaler makes deterministic
+//! up and down decisions from the routed load alone, bounded by
+//! min/max, and a drained replica retires with zero open connections.
+
+use std::time::Duration;
+
+use hec_cluster::{
+    owners_diff, stable_hash, AutoscaleConfig, ClusterConfig, FaultPlan, HealthConfig, Ring,
+    DEFAULT_VNODES,
+};
+use hec_core::json::Json;
+use hec_serve::client::{self, RetryPolicy};
+use hec_serve::request::Point;
+use hec_serve::server::{self, ServeConfig};
+
+fn cluster_cfg(replicas: usize, faults: FaultPlan) -> ClusterConfig {
+    ClusterConfig {
+        replicas,
+        replica: ServeConfig { port: 0, workers: 2, queue: 32, cache_capacity: 512 },
+        retry: RetryPolicy {
+            base_ms: 5,
+            cap_ms: 50,
+            max_retries: 4,
+            timeout: Duration::from_secs(10),
+        },
+        health: HealthConfig {
+            interval: Duration::from_millis(50),
+            probe_timeout: Duration::from_millis(300),
+        },
+        faults,
+        ..ClusterConfig::default()
+    }
+}
+
+/// The byte-identity workload: the same eight queries the static
+/// cluster e2e uses, paired with the single-process oracle bytes.
+fn expected_bodies() -> Vec<(String, String)> {
+    [
+        "app=gtc&platform=x1msp&procs=256",
+        "app=gtc&platform=4ssp&procs=512",
+        "app=lbmhd&platform=es&procs=1024&n=1024",
+        "app=lbmhd&platform=sx8&procs=512&n=512",
+        "app=paratec&platform=power3&procs=128",
+        "app=paratec&platform=es&procs=512",
+        "app=fvcam&platform=power3&procs=256&pz=4",
+        "app=fvcam&platform=x1msp&procs=336&pz=7",
+    ]
+    .into_iter()
+    .map(|q| {
+        let p = Point::from_query(q).expect(q);
+        (q.to_string(), server::point_response_body(&p, p.eval()))
+    })
+    .collect()
+}
+
+fn metrics(base: &str) -> Json {
+    let body = client::http_get(&format!("{base}/metrics")).unwrap().body;
+    Json::parse(&body).unwrap()
+}
+
+fn metric(base: &str, path: &[&str]) -> f64 {
+    let doc = metrics(base);
+    let mut v = &doc;
+    for p in path {
+        v = v.get(p).unwrap_or_else(|| panic!("missing /metrics field {path:?}"));
+    }
+    v.as_f64().unwrap()
+}
+
+/// Member IDs listed in `cluster.replicas` (current epoch only).
+fn member_ids(base: &str) -> Vec<usize> {
+    match metrics(base).get("cluster").and_then(|c| c.get("replicas")) {
+        Some(Json::Arr(v)) => {
+            v.iter().map(|r| r.get("index").and_then(|i| i.as_f64()).unwrap() as usize).collect()
+        }
+        other => panic!("cluster.replicas missing: {other:?}"),
+    }
+}
+
+/// `connections_open_after_drain` for retired member `i`.
+fn retired_connections(base: &str, i: usize) -> Option<f64> {
+    match metrics(base).get("cluster").and_then(|c| c.get("retired")) {
+        Some(Json::Arr(v)) => v
+            .iter()
+            .find(|r| r.get("index").and_then(|x| x.as_f64()) == Some(i as f64))
+            .and_then(|r| r.get("connections_open_after_drain").and_then(|c| c.as_f64())),
+        other => panic!("cluster.retired missing: {other:?}"),
+    }
+}
+
+/// The exact number of workload keys whose owner set changes across
+/// one membership transition — the ring-theoretic oracle the router's
+/// `handoff.keys_moved` counter must match.
+fn predicted_moves(old_members: &[usize], new_members: &[usize], r: usize) -> u64 {
+    let old = Ring::over(old_members, DEFAULT_VNODES, r);
+    let new = Ring::over(new_members, DEFAULT_VNODES, r);
+    let diff = owners_diff(&old, &new);
+    expected_bodies()
+        .iter()
+        .filter(|(q, _)| {
+            let key = Point::from_query(q).unwrap().canonical_key();
+            diff.covers(stable_hash(key.as_bytes()))
+        })
+        .count() as u64
+}
+
+/// (i) Churn pinned to the admitted clock — two scale-ups and a drain
+/// mid-load — is invisible to clients: every request answers 200 with
+/// the oracle bytes, and the rebalance moves exactly the keys the ring
+/// diff predicts, no more.
+#[test]
+fn seeded_churn_plan_loses_nothing_and_moves_exactly_the_predicted_keys() {
+    let plan =
+        FaultPlan::add_at(24).merged(FaultPlan::add_at(32)).merged(FaultPlan::drain_at(1, 44));
+    let c = hec_cluster::start(cluster_cfg(2, plan)).unwrap();
+    let base = format!("http://{}", c.addr());
+    let cases = expected_bodies();
+    let policy =
+        RetryPolicy { base_ms: 5, cap_ms: 50, max_retries: 6, timeout: Duration::from_secs(10) };
+
+    // Sequential requests advance the admitted index 0,1,2,…: the whole
+    // workload is tracked by index 8, well before the first flip at 24.
+    for i in 0..64u64 {
+        let (query, want) = &cases[(i as usize) % cases.len()];
+        let out = client::get_with_retry(&format!("{base}/eval?{query}"), &policy, i)
+            .unwrap_or_else(|e| panic!("request {i} ({query}) failed in transport: {e}"));
+        assert_eq!(out.response.status, 200, "request {i} ({query})");
+        assert_eq!(out.response.body, *want, "request {i}: bytes drifted under churn");
+    }
+
+    assert_eq!(metric(&base, &["errors"]), 0.0, "churn must admit zero errors");
+    assert_eq!(metric(&base, &["faults", "remaining"]), 0.0);
+    assert_eq!(metric(&base, &["membership", "events"]), 3.0);
+    assert_eq!(metric(&base, &["membership", "members", "current"]), 3.0);
+    assert_eq!(metric(&base, &["membership", "members", "added_total"]), 2.0);
+    assert_eq!(metric(&base, &["membership", "members", "removed_total"]), 1.0);
+    assert_eq!(metric(&base, &["cluster", "epoch"]), 3.0);
+    assert_eq!(member_ids(&base), vec![0, 2, 3], "epoch 3 members");
+
+    // The drained replica completed its graceful drain: zero open
+    // connections at reactor exit, and it left the live table.
+    assert_eq!(retired_connections(&base, 1), Some(0.0));
+
+    // keys_moved is exact: {0,1} -> {0,1,2} -> {0,1,2,3} -> {0,2,3},
+    // R=2, summed over the workload keys the ring diff covers.
+    let want_moved = predicted_moves(&[0, 1], &[0, 1, 2], 2)
+        + predicted_moves(&[0, 1, 2], &[0, 1, 2, 3], 2)
+        + predicted_moves(&[0, 1, 2, 3], &[0, 2, 3], 2);
+    assert_eq!(metric(&base, &["membership", "handoff", "keys_moved"]), want_moved as f64);
+    assert!(
+        metric(&base, &["membership", "handoff", "warm_hits"]) >= 1.0,
+        "at least one moved key must have been warmed onto its new primary"
+    );
+    c.shutdown();
+    c.join();
+}
+
+/// (ii) The admin surface round-trips: scale-up adds a member and
+/// reports the handoff, drain retires one, and malformed or illegal
+/// targets are rejected without touching membership.
+#[test]
+fn admin_scale_up_and_drain_round_trip_with_validation() {
+    let c = hec_cluster::start(cluster_cfg(2, FaultPlan::none())).unwrap();
+    let base = format!("http://{}", c.addr());
+
+    let up = client::http_post(&format!("{base}/admin/scale-up"), "").unwrap();
+    assert_eq!(up.status, 200);
+    let doc = Json::parse(&up.body).unwrap();
+    assert_eq!(doc.get("added").and_then(|v| v.as_f64()), Some(2.0));
+    assert_eq!(doc.get("epoch").and_then(|v| v.as_f64()), Some(1.0));
+    assert_eq!(member_ids(&base), vec![0, 1, 2]);
+
+    let drained = client::http_post(&format!("{base}/admin/drain/1"), "").unwrap();
+    assert_eq!(drained.status, 200);
+    let doc = Json::parse(&drained.body).unwrap();
+    assert_eq!(doc.get("connections_open_after_drain").and_then(|v| v.as_f64()), Some(0.0));
+    assert_eq!(member_ids(&base), vec![0, 2]);
+
+    // A drained member cannot drain again, restart, or be made up.
+    assert_eq!(client::http_post(&format!("{base}/admin/drain/1"), "").unwrap().status, 400);
+    assert_eq!(
+        client::http_post(&format!("{base}/admin/restart?replica=1"), "").unwrap().status,
+        400,
+        "retired replicas must not restart"
+    );
+    assert_eq!(client::http_post(&format!("{base}/admin/drain/99"), "").unwrap().status, 400);
+    assert_eq!(client::http_post(&format!("{base}/admin/drain/xyz"), "").unwrap().status, 400);
+    assert_eq!(
+        client::http_get(&format!("{base}/metrics")).unwrap().status,
+        200,
+        "metrics still serving after rejected admin calls"
+    );
+
+    // Requests still route and answer the oracle bytes on {0, 2}.
+    let (query, want) = &expected_bodies()[0];
+    let r = client::http_get(&format!("{base}/eval?{query}")).unwrap();
+    assert_eq!((r.status, r.body.as_str()), (200, want.as_str()));
+    c.shutdown();
+    c.join();
+}
+
+/// (iii-up) With an every-request tick and a 1µs p99 threshold, any
+/// routed traffic reads as sustained load: the autoscaler scales up
+/// once and is then pinned by `max`.
+#[test]
+fn autoscaler_scales_up_under_load_and_respects_max() {
+    let mut cfg = cluster_cfg(2, FaultPlan::none());
+    cfg.autoscale = Some(AutoscaleConfig {
+        tick_every: 1,
+        up_queue_depth: 1000, // never triggers; the p99 signal drives it
+        up_p99_us: 1,
+        up_ticks: 2,
+        down_queue_depth: 0,
+        down_ticks: 10_000, // never triggers
+        cooldown_ticks: 2,
+        min: 2,
+        max: 3,
+    });
+    let c = hec_cluster::start(cfg).unwrap();
+    let base = format!("http://{}", c.addr());
+    let cases = expected_bodies();
+    for i in 0..20usize {
+        let (query, want) = &cases[i % cases.len()];
+        let r = client::http_get(&format!("{base}/eval?{query}")).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(&r.body, want, "bytes must not drift across an autoscale flip");
+    }
+    assert_eq!(metric(&base, &["membership", "autoscale", "up"]), 1.0, "max bounds the ups");
+    assert_eq!(metric(&base, &["membership", "autoscale", "down"]), 0.0);
+    assert_eq!(metric(&base, &["membership", "members", "current"]), 3.0);
+    assert_eq!(metric(&base, &["errors"]), 0.0);
+    c.shutdown();
+    c.join();
+}
+
+/// (iii-down) With an unreachable busy threshold every tick reads as
+/// idle: the autoscaler drains the highest member after `down_ticks`
+/// and is then pinned by `min`; the victim retires cleanly.
+#[test]
+fn autoscaler_drains_idle_capacity_down_to_min() {
+    let mut cfg = cluster_cfg(3, FaultPlan::none());
+    cfg.autoscale = Some(AutoscaleConfig {
+        tick_every: 1,
+        up_queue_depth: 1000,
+        up_p99_us: 1 << 40, // unreachably slow: every tick is idle
+        up_ticks: 2,
+        down_queue_depth: 1000,
+        down_ticks: 4,
+        cooldown_ticks: 0,
+        min: 2,
+        max: 3,
+    });
+    let c = hec_cluster::start(cfg).unwrap();
+    let base = format!("http://{}", c.addr());
+    let cases = expected_bodies();
+    for i in 0..16usize {
+        let (query, want) = &cases[i % cases.len()];
+        let r = client::http_get(&format!("{base}/eval?{query}")).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(&r.body, want, "bytes must not drift across an autoscale drain");
+    }
+    assert_eq!(metric(&base, &["membership", "autoscale", "down"]), 1.0, "min bounds the downs");
+    assert_eq!(metric(&base, &["membership", "autoscale", "up"]), 0.0);
+    assert_eq!(member_ids(&base), vec![0, 1], "down drains the highest member");
+    assert_eq!(retired_connections(&base, 2), Some(0.0), "victim drains to zero connections");
+    assert_eq!(metric(&base, &["errors"]), 0.0);
+    c.shutdown();
+    c.join();
+}
